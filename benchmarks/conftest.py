@@ -1,0 +1,34 @@
+"""Shared infrastructure for the figure-regeneration benches.
+
+Every bench computes its figure's data once (module-scoped fixtures),
+prints the same rows/series the paper plots, writes them to
+``benchmarks/out/``, asserts the paper's *shape* claims (who wins, by
+roughly what factor, where crossovers fall), and times a representative
+kernel through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def record(out_dir):
+    """Write a named report to benchmarks/out/ and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _record

@@ -1,0 +1,81 @@
+"""Ablation: depth/contention caps in the Auto-Gen DP.
+
+The paper's exact tree search is O(P^4); our DP caps depth and contention
+at Theta(sqrt P) and recovers the deep-chain regime through the hybrid
+fixed-pattern candidates (see repro.autogen.hybrid).  This bench
+quantifies the pruning:
+
+* capped DP == exact uncapped DP for every P <= 64 (pure-DP comparison);
+* doubling the caps does not change the hybrid time at P in {128, 256}
+  (saturation);
+* without the hybrid fallback, the capped DP alone degrades at B >> P —
+  the measurable cost of the pruning the hybrid repairs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autogen.dp import autogen_time, default_cap
+from repro.autogen.hybrid import autogen_hybrid_time
+from repro.bench import format_table
+
+
+def _hybrid_at_caps(p: int, b: int, cap: int) -> float:
+    """Hybrid search (DP + fixed trees) with an explicit DP cap."""
+    from repro.autogen.hybrid import fixed_tree_candidates
+
+    dp = autogen_time(p, b, d_max=min(p - 1, cap), c_max=min(p - 1, cap))
+    fixed = min(
+        tree.model_time(b) for tree in fixed_tree_candidates(p).values()
+    )
+    return min(dp, fixed)
+
+
+def _saturation_rows():
+    rows = []
+    for p in (128, 256):
+        cap = default_cap(p)
+        for b in (1, 16, 256, 4096):
+            t_default = _hybrid_at_caps(p, b, cap)
+            t_doubled = _hybrid_at_caps(p, b, 2 * cap)
+            rows.append((p, b, cap, t_default, t_doubled))
+    return rows
+
+
+def test_ablation_autogen_caps(benchmark, record):
+    rows = benchmark.pedantic(_saturation_rows, rounds=1, iterations=1)
+    record(
+        "ablation_autogen_caps",
+        format_table(
+            ["P", "B", "cap", "hybrid T (default cap)", "hybrid T (doubled cap)"],
+            [[p, b, c, f"{a:.0f}", f"{d:.0f}"] for p, b, c, a, d in rows],
+        ),
+    )
+
+    # Exactness at small P, where the default caps cover the full range
+    # (cap(32) = 40 >= 31): the capped DP is provably the exact optimum.
+    for p in (8, 16, 32):
+        for b in (1, 8, 128, 2048):
+            assert autogen_time(p, b) == pytest.approx(
+                autogen_time(p, b, d_max=p - 1, c_max=p - 1)
+            ), (p, b)
+
+    # At P = 64 the caps bind (cap = 48 < 63) and the raw capped DP loses
+    # the deep-chain regime, but the *hybrid* recovers the exact optimum
+    # for every vector length.
+    for b in (1, 8, 128, 2048, 16384):
+        exact = autogen_time(64, b, d_max=63, c_max=63)
+        assert autogen_hybrid_time(64, b) == pytest.approx(exact), b
+
+    # Saturation at larger P: doubling the caps buys nothing (<= 0.5%).
+    for p, b, cap, t_default, t_doubled in rows:
+        assert t_doubled <= t_default + 1e-9
+        assert (t_default - t_doubled) / t_default < 0.005, (p, b)
+
+    # The hybrid repairs the deep-chain regime the caps cut off: at
+    # B >> P the raw capped DP is measurably worse than the hybrid.
+    p, b = 256, 65536
+    raw = autogen_time(p, b)
+    hybrid = autogen_hybrid_time(p, b)
+    assert hybrid < raw
+    assert raw / hybrid > 1.1

@@ -1,0 +1,66 @@
+"""Ablation: root placement for 1D AllReduce (§6.1).
+
+The paper notes Reduce-then-Broadcast "could be further optimized by
+choosing an optimal root", citing the stencil implementations that reduce
+to the middle PE and broadcast from there.  Map the trade-off: middle
+rooting halves the distance and depth terms but adds a message at the
+middle PE, so it wins when latency-bound (long rows, short vectors) and
+loses when contention-bound.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.collectives import (
+    allreduce_1d_schedule,
+    middle_root_allreduce_schedule,
+)
+from repro.fabric import row_grid, simulate
+from repro.validation import random_inputs
+
+CASES = [
+    (16, 16), (16, 256),
+    (64, 16), (64, 256),
+    (128, 16), (128, 128),
+]
+PATTERN = "two_phase"
+
+
+def _sweep():
+    rows = []
+    for p, b in CASES:
+        grid = row_grid(p)
+        inputs = random_inputs(p, b, seed=p + b)
+        end = simulate(
+            allreduce_1d_schedule(grid, PATTERN, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        mid = simulate(
+            middle_root_allreduce_schedule(grid, PATTERN, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        rows.append((p, b, end.cycles, mid.cycles, end.cycles / mid.cycles))
+    return rows
+
+
+def test_ablation_middle_root(benchmark, record):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record(
+        "ablation_middle_root",
+        format_table(
+            ["P", "B", "end-rooted", "middle-rooted", "speedup"],
+            [[p, b, e, m, f"{s:.2f}x"] for p, b, e, m, s in rows],
+        ),
+    )
+    gains = {(p, b): s for p, b, _, _, s in rows}
+
+    # Latency-bound: long rows, short vectors -> middle rooting wins.
+    assert gains[(128, 16)] > 1.15
+    assert gains[(64, 16)] > 1.05
+
+    # Contention-bound: short rows, long vectors -> it washes out or
+    # loses (the middle PE receives one extra message of B wavelets).
+    assert gains[(16, 256)] < 1.05
+
+    # The gain grows with row length at fixed small B.
+    assert gains[(128, 16)] > gains[(64, 16)] > gains[(16, 16)]

@@ -1,0 +1,53 @@
+"""Ablation: ring mapping onto the mesh (Figure 7).
+
+Section 6.2 proposes the simple mapping (one long wrap link) and the
+distance-preserving zigzag, and argues both have the same predicted
+performance.  Measure both on the simulator across ring sizes and check
+they agree with each other and with Lemma 6.1.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.collectives import ring_allreduce_schedule
+from repro.fabric import row_grid, simulate
+from repro.model import analytic
+from repro.validation import random_inputs
+
+CASES = [(8, 64), (16, 128), (32, 256), (64, 256)]
+
+
+def _sweep():
+    rows = []
+    for p, b in CASES:
+        grid = row_grid(p)
+        inputs = random_inputs(p, b, seed=p)
+        cycles = {}
+        for mapping in ("simple", "distance_preserving"):
+            sched = ring_allreduce_schedule(grid, b, mapping=mapping)
+            sim = simulate(
+                sched, inputs={k: v.copy() for k, v in inputs.items()}
+            )
+            cycles[mapping] = sim.cycles
+        predicted = float(analytic.ring_allreduce_time(p, b))
+        rows.append((p, b, cycles["simple"], cycles["distance_preserving"], predicted))
+    return rows
+
+
+def test_ablation_ring_mapping(benchmark, record):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record(
+        "ablation_ring_mapping",
+        format_table(
+            ["P", "B", "simple", "distance-preserving", "predicted (Lemma 6.1)"],
+            [[p, b, s, d, f"{pr:.0f}"] for p, b, s, d, pr in rows],
+        ),
+    )
+
+    for p, b, simple, distp, predicted in rows:
+        # The two mappings perform the same (paper: "result in the same
+        # predicted performance"), within 3%.
+        assert abs(simple - distp) / max(simple, distp) < 0.03, (p, b)
+        # Both track Lemma 6.1 within 5%.
+        assert abs(simple - predicted) / predicted < 0.05, (p, b)
+        assert abs(distp - predicted) / predicted < 0.05, (p, b)

@@ -1,0 +1,74 @@
+"""Ablation: Two-Phase group size S.
+
+Lemma 5.4 fixes S = sqrt(P) to balance the two chain depths.  Sweep S on
+a 64-PE row at 1 KB vectors (model and simulator) and confirm sqrt(P) is
+at (or within a whisker of) the measured optimum, with the extremes
+degrading towards Chain (S = 1 or S = P).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.collectives import reduce_1d_schedule
+from repro.fabric import row_grid, simulate
+from repro.model import analytic
+from repro.validation import random_inputs
+
+P = 64
+# B = 64 puts the row squarely in the depth/contention trade-off regime
+# where the group size matters (at B >> P every S degenerates towards
+# the chain's contention bound and the sweep flattens out).
+B = 64
+S_VALUES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _sweep():
+    grid = row_grid(P)
+    inputs = random_inputs(P, B, seed=0)
+    rows = []
+    for s in S_VALUES:
+        sched = reduce_1d_schedule(grid, "two_phase", B, group_size=s)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        predicted = float(
+            analytic.two_phase_reduce_time(P, B, group_size=s)
+        )
+        rows.append((s, sim.cycles, predicted))
+    return rows
+
+
+def test_ablation_two_phase_group_size(benchmark, record):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record(
+        "ablation_two_phase_s",
+        format_table(
+            ["S", "measured cycles", "predicted cycles"],
+            [[s, m, f"{p:.0f}"] for s, m, p in rows],
+        ),
+    )
+
+    measured = {s: m for s, m, _ in rows}
+    s_star = 8  # sqrt(64)
+
+    # The sqrt choice is within 10% of the measured optimum.
+    assert measured[s_star] <= 1.10 * min(measured.values())
+
+    # Both extremes degenerate to the chain and are clearly worse.
+    assert measured[1] > 1.5 * measured[s_star]
+    assert measured[64] > 1.5 * measured[s_star]
+
+    # S = 1 and S = P are literally the chain pattern.
+    grid = row_grid(P)
+    inputs = random_inputs(P, B, seed=0)
+    chain = simulate(
+        reduce_1d_schedule(grid, "chain", B),
+        inputs={k: v.copy() for k, v in inputs.items()},
+    )
+    assert abs(measured[1] - chain.cycles) <= 2
+    assert abs(measured[64] - chain.cycles) <= 2
+
+    # The model tracks the sweep: predicted ordering matches measured at
+    # the extremes vs the optimum.
+    predicted = {s: p for s, _, p in rows}
+    assert predicted[s_star] < predicted[1]
+    assert predicted[s_star] < predicted[64]

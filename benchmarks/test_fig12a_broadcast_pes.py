@@ -1,0 +1,54 @@
+"""Figure 12a: 1D Broadcast at fixed 1 KB vectors, 4..512 PEs.
+
+Measured + predicted series.  The paper reports 8-21% relative error on
+hardware; the shape claim is a large initial runtime (the 256-wavelet
+message itself) with a gradually increasing distance contribution.
+"""
+
+import pytest
+
+from repro.bench import PE_COUNTS, broadcast_1d_sweep, format_sweep_vs_pes
+
+B_BYTES = 1024  # 256 wavelets
+
+
+def _compute():
+    return broadcast_1d_sweep(PE_COUNTS, [B_BYTES], max_movements=4e6)
+
+
+def test_fig12a_broadcast_vs_pes(benchmark, record):
+    sweep = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    record(
+        "fig12a_broadcast_pes",
+        format_sweep_vs_pes(
+            sweep, [(p,) for p in PE_COUNTS], "Fig 12a: 1D Broadcast, B = 1 KB"
+        ),
+    )
+    pts = sweep.points["flood"]
+    measured = {p.shape[0]: p.measured_cycles for p in pts}
+    assert all(m is not None for m in measured.values())
+
+    # Tight model agreement (paper's hardware band: 8-21%).
+    for p in pts:
+        assert p.relative_error < 0.05, (p.shape, p.relative_error)
+
+    # Base cost is the message itself: at 4 PEs the runtime is ~B.
+    assert measured[4] == pytest.approx(256 + 4 + 4, abs=8)
+
+    # Distance term: +1 cycle per extra PE, so 512 PEs adds ~508 cycles
+    # over 4 PEs.
+    assert measured[512] - measured[4] == pytest.approx(508, abs=16)
+
+
+def test_bench_fig12a_broadcast_64(benchmark):
+    from repro.collectives import broadcast_row_schedule
+    from repro.fabric import row_grid, simulate
+    import numpy as np
+
+    grid = row_grid(64)
+    vec = np.ones(256)
+    benchmark.pedantic(
+        lambda: simulate(broadcast_row_schedule(grid, 256), inputs={0: vec.copy()}),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,98 @@
+"""Figure 12b: 1D Reduce at fixed 1 KB vectors, 4..512 PEs.
+
+Shape claims from §8.5 (scaling PE count):
+
+* with very few PEs contention dominates, so the Chain performs best;
+* as P grows, depth matters and Two-Phase overtakes the Chain;
+* Auto-Gen is the fastest throughout, and Two-Phase tracks it closely
+  for >= 64 PEs (the paper's observation);
+* Star degrades steeply with P (contention B (P-1)).
+"""
+
+import pytest
+
+from repro.bench import PE_COUNTS, format_sweep_vs_pes, reduce_1d_sweep
+
+B_BYTES = 1024  # 256 wavelets
+BUDGET = 1.5e6
+
+
+def _compute():
+    return reduce_1d_sweep(PE_COUNTS, [B_BYTES], max_movements=BUDGET)
+
+
+def test_fig12b_reduce_vs_pes(benchmark, record):
+    sweep = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    record(
+        "fig12b_reduce_pes",
+        format_sweep_vs_pes(
+            sweep, [(p,) for p in PE_COUNTS], "Fig 12b: 1D Reduce, B = 1 KB"
+        ),
+    )
+
+    def series(alg, what="predicted"):
+        return {
+            p.shape[0]: (
+                p.predicted_cycles if what == "predicted" else p.measured_cycles
+            )
+            for p in sweep.points[alg]
+        }
+
+    chain_p = series("chain")
+    tp_p = series("two_phase")
+    auto_p = series("autogen")
+    star_p = series("star")
+
+    # Few PEs: chain at least ties two-phase (contention-dominated).
+    assert chain_p[4] <= tp_p[4] + 1e-9
+
+    # Many PEs: two-phase clearly ahead of chain (depth-dominated).
+    assert tp_p[512] < 0.5 * chain_p[512]
+
+    # A crossover exists and is unique along the P axis.
+    flips = [
+        int((chain_p[p] <= tp_p[p]) != (chain_p[q] <= tp_p[q]))
+        for p, q in zip(PE_COUNTS, PE_COUNTS[1:])
+    ]
+    assert sum(flips) == 1
+
+    # Auto-Gen dominates; Two-Phase within 25% of it for P >= 64 (§8.5:
+    # "Two Phase offers similar performance as Auto-Gen for 64 or more").
+    for p in PE_COUNTS:
+        assert auto_p[p] <= min(chain_p[p], tp_p[p]) + 1e-9
+        if p >= 64:
+            assert tp_p[p] <= 1.25 * auto_p[p], p
+
+    # Star scales linearly with P at fixed B: 256 wavelets each from P-1
+    # senders through one ramp.
+    assert star_p[512] / star_p[8] == pytest.approx(511 / 7, rel=0.05)
+
+    # Measured/model agreement on the points inside the budget.
+    for alg in ("chain", "two_phase", "tree", "autogen"):
+        err = sweep.mean_relative_error(alg)
+        assert err is not None and err < 0.12, (alg, err)
+
+    # Measured crossover mirrors the predicted one: at 4 PEs chain wins,
+    # at 128 two-phase wins.
+    chain_m = series("chain", "measured")
+    tp_m = series("two_phase", "measured")
+    assert chain_m[4] is not None and tp_m[4] is not None
+    assert chain_m[4] <= tp_m[4]
+    assert chain_m[128] is not None and tp_m[128] is not None
+    assert tp_m[128] < chain_m[128]
+
+
+def test_bench_fig12b_autogen_128(benchmark):
+    from repro.collectives import reduce_1d_schedule
+    from repro.fabric import row_grid, simulate
+    from repro.validation import random_inputs
+
+    grid = row_grid(128)
+    inputs = random_inputs(128, 256)
+    reduce_1d_schedule(grid, "autogen", 256)  # warm DP cache
+
+    def run():
+        sched = reduce_1d_schedule(grid, "autogen", 256)
+        return simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,81 @@
+"""Figure 12c: 1D AllReduce at fixed 1 KB vectors, 4..512 PEs.
+
+Shape claims from §8.6 (scaling PE count):
+
+* at 4 PEs the predicted ring is competitive with (slightly better than)
+  the chain AllReduce, but the gain is not significant;
+* for > 8 PEs reduce-then-broadcast beats the predicted ring decisively
+  (the paper quotes ~1.4x and concludes multicast is what matters);
+* the same chain/two-phase crossover as for Reduce.
+"""
+
+import pytest
+
+from repro.bench import PE_COUNTS, allreduce_1d_sweep, format_sweep_vs_pes
+from repro.model import analytic
+
+B_BYTES = 1024  # 256 wavelets
+BUDGET = 1.5e6
+
+
+def _compute():
+    return allreduce_1d_sweep(PE_COUNTS, [B_BYTES], max_movements=BUDGET)
+
+
+def test_fig12c_allreduce_vs_pes(benchmark, record):
+    sweep = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    record(
+        "fig12c_allreduce_pes",
+        format_sweep_vs_pes(
+            sweep, [(p,) for p in PE_COUNTS], "Fig 12c: 1D AllReduce, B = 1 KB"
+        ),
+    )
+
+    def predicted(alg):
+        return {p.shape[0]: p.predicted_cycles for p in sweep.points[alg]}
+
+    chain_p = predicted("chain")
+    ring_p = {
+        p: float(analytic.ring_allreduce_time(p, 256)) for p in PE_COUNTS
+    }
+
+    # 4 PEs: predicted ring a bit better than chain, but not by much.
+    assert ring_p[4] < chain_p[4]
+    assert chain_p[4] / ring_p[4] < 1.3
+
+    # P >= 16: reduce-then-broadcast beats the ring, decisively from 64
+    # PEs on (the paper quotes "possibly even 1.4x").
+    for p in PE_COUNTS:
+        if p >= 16:
+            best_rb = min(predicted(a)[p] for a in ("chain", "tree", "two_phase"))
+            assert ring_p[p] / best_rb >= 1.05, p
+        if p >= 64:
+            assert ring_p[p] / best_rb >= 1.3, p
+
+    # Measured points agree with the model.
+    for alg in ("chain", "two_phase", "tree"):
+        err = sweep.mean_relative_error(alg)
+        assert err is not None and err < 0.15, (alg, err)
+
+    # Measured ring at small P matches Lemma 6.1 tightly (it divides B
+    # at P in {4, ..., 256} since B = 256 wavelets).
+    ring_pts = {
+        p.shape[0]: p for p in sweep.points.get("ring", []) if p.measured_cycles
+    }
+    assert 4 in ring_pts
+    assert ring_pts[4].relative_error < 0.05
+
+
+def test_bench_fig12c_chain_allreduce_256(benchmark):
+    from repro.collectives import allreduce_1d_schedule
+    from repro.fabric import row_grid, simulate
+    from repro.validation import random_inputs
+
+    grid = row_grid(256)
+    inputs = random_inputs(256, 256)
+
+    def run():
+        sched = allreduce_1d_schedule(grid, "chain", 256)
+        return simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,121 @@
+"""Figure 13a: 2D Reduce on the full 512x512 wafer, runtime vs vector length.
+
+The paper's full-wafer curves are reproduced from the model (a Python
+cycle simulation of 262,144 PEs is infeasible — see DESIGN.md's
+substitution table); the same sweep is then *measured* on a 16x16 grid to
+validate that the model tracks the simulator at a scale we can execute.
+
+Shape claims (§8.7):
+
+* the Snake is hopeless at full wafer scale (depth > 260k PEs: the paper
+  plots it around 1.9 ms vs single-digit us for X-Y patterns);
+* X-Y Auto-Gen beats the vendor X-Y Chain by a large factor (paper:
+  up to 3.27x measured);
+* the X-Y region structure mirrors the 1D setting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_sweep_vs_bytes, reduce_2d_sweep
+from repro.core import registry
+from repro.model.params import CS2
+
+FULL = (512, 512)
+SMALL = (16, 16)
+BYTES = tuple(2**k for k in range(2, 15))
+ALGS = ("star", "chain", "tree", "two_phase", "autogen", "snake")
+
+
+def _model_full():
+    out = {}
+    for alg in ALGS:
+        out[alg] = np.array(
+            [
+                registry.reduce_2d_predict(alg, *FULL, max(1, nb // 4))
+                for nb in BYTES
+            ]
+        )
+    return out
+
+
+def _measured_small():
+    return reduce_2d_sweep([SMALL], BYTES, max_movements=1.2e6)
+
+
+def test_fig13a_2d_reduce_vs_vector_length(benchmark, record):
+    full = _model_full()
+    small = benchmark.pedantic(_measured_small, rounds=1, iterations=1)
+
+    lines = [f"Fig 13a: 2D Reduce, 512x512 PEs (model; cycles and us)"]
+    header = "algorithm " + " ".join(f"{nb}B" for nb in BYTES)
+    lines.append(header)
+    for alg in ALGS:
+        us = [CS2.cycles_to_us(t) for t in full[alg]]
+        lines.append(alg + " " + " ".join(f"{u:.2f}" for u in us))
+    record("fig13a_2d_reduce_full_model", "\n".join(lines))
+    record(
+        "fig13a_2d_reduce_16x16_measured",
+        format_sweep_vs_bytes(
+            small, BYTES, "Fig 13a (validation): 2D Reduce, 16x16 PEs"
+        ),
+    )
+
+    # Snake at full wafer: catastrophic (paper plots ~1.9 ms vs ~us).
+    j1kb = BYTES.index(1024)
+    assert full["snake"][j1kb] / full["two_phase"][j1kb] > 100
+    # Paper's snake plateau is ~1.9 ms; the depth term alone gives
+    # (2 T_R + 2) * (P - 1) cycles = ~1.85 ms at 850 MHz.
+    snake_us = CS2.cycles_to_us(full["snake"][0])
+    assert 1500 < snake_us < 2300
+
+    # X-Y Auto-Gen vs vendor X-Y Chain: large best-case factor.  (The
+    # paper measures up to 3.27x on hardware; the model gap peaks higher
+    # because measured Chain benefits from overlap the model ignores.)
+    gain = full["chain"] / full["autogen"]
+    assert gain.max() >= 3.0
+    assert gain.min() >= 1.0 - 1e-9
+
+    # 1D-like regime structure at full scale: tree wins small B,
+    # two-phase intermediate, chain the largest vectors.
+    fixed = {a: full[a] for a in ("star", "chain", "tree", "two_phase")}
+    def winner(j):
+        return min(fixed, key=lambda a: fixed[a][j])
+    assert winner(0) in ("tree", "star")
+    assert winner(BYTES.index(2048)) == "two_phase"
+    assert winner(len(BYTES) - 1) == "chain"
+
+    # Validation at 16x16: model tracks the simulator.
+    for alg in ("chain", "tree", "two_phase", "snake"):
+        err = small.mean_relative_error(alg)
+        assert err is not None and err < 0.20, (alg, err)
+
+    # Measured winner at 16x16 for 1 KB matches the predicted winner.
+    meas_1kb = {
+        alg: next(
+            p.measured_cycles
+            for p in small.points[alg]
+            if p.b == 256 and p.measured_cycles is not None
+        )
+        for alg in ("chain", "tree", "two_phase")
+    }
+    pred_1kb = {
+        alg: next(p.predicted_cycles for p in small.points[alg] if p.b == 256)
+        for alg in ("chain", "tree", "two_phase")
+    }
+    assert min(meas_1kb, key=meas_1kb.get) == min(pred_1kb, key=pred_1kb.get)
+
+
+def test_bench_fig13a_xy_two_phase_16x16(benchmark):
+    from repro.collectives import xy_reduce_schedule
+    from repro.fabric import Grid, simulate
+    from repro.validation import random_inputs
+
+    grid = Grid(16, 16)
+    inputs = random_inputs(256, 256)
+
+    def run():
+        sched = xy_reduce_schedule(grid, "two_phase", 256)
+        return simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

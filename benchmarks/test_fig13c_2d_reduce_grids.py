@@ -1,0 +1,101 @@
+"""Figure 13c: 2D Reduce at fixed 1 KB vectors, grids 4x4 .. 512x512.
+
+Shape claims (§8.7, scaling PE count):
+
+* on the smallest grids the bandwidth-bound Snake wins;
+* as the grid grows, X-Y Chain takes over, and finally X-Y Two-Phase;
+* X-Y Auto-Gen is best overall except the 4x4 corner where the snake
+  wins (the paper's only exception).
+
+Model-driven across all grids, with measured validation up to 16x16.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_sweep_vs_pes, reduce_2d_sweep
+from repro.core import registry
+
+SIDES = (4, 8, 16, 32, 64, 128, 256, 512)
+B = 256  # 1 KB
+ALGS = ("star", "chain", "tree", "two_phase", "autogen", "snake")
+
+
+def _measured_small():
+    return reduce_2d_sweep(
+        [(s, s) for s in (4, 8, 16)], [1024], max_movements=1.2e6
+    )
+
+
+def test_fig13c_2d_reduce_vs_grids(benchmark, record):
+    full = {
+        alg: np.array(
+            [registry.reduce_2d_predict(alg, s, s, B) for s in SIDES]
+        )
+        for alg in ALGS
+    }
+    small = benchmark.pedantic(_measured_small, rounds=1, iterations=1)
+
+    lines = ["Fig 13c: 2D Reduce, B = 1 KB (model; cycles)"]
+    lines.append("algorithm " + " ".join(f"{s}x{s}" for s in SIDES))
+    for alg in ALGS:
+        lines.append(alg + " " + " ".join(f"{t:.0f}" for t in full[alg]))
+    record("fig13c_2d_reduce_grids_model", "\n".join(lines))
+    record(
+        "fig13c_2d_reduce_grids_measured",
+        format_sweep_vs_pes(
+            small,
+            [(4, 4), (8, 8), (16, 16)],
+            "Fig 13c (validation): 2D Reduce, B = 1 KB",
+        ),
+    )
+
+    fixed = ("star", "chain", "tree", "two_phase", "snake")
+
+    def winner(i):
+        return min(fixed, key=lambda a: full[a][i])
+
+    # Paper's progression: snake -> X-Y chain -> X-Y two-phase.
+    assert winner(SIDES.index(4)) == "snake"
+    assert winner(SIDES.index(16)) == "chain"
+    assert winner(SIDES.index(512)) == "two_phase"
+    seq = [winner(i) for i in range(len(SIDES))]
+    order = {"snake": 0, "chain": 1, "two_phase": 2, "tree": 2, "star": 3}
+    ranks = [order[w] for w in seq]
+    assert ranks == sorted(ranks), seq
+
+    # Auto-Gen best everywhere except the snake corner (§8.7: "The only
+    # exception is for 4x4 PEs, where the Snake is better").
+    for i, s in enumerate(SIDES):
+        others = [full[a][i] for a in ("star", "chain", "tree", "two_phase")]
+        assert full["autogen"][i] <= min(others) + 1e-6, s
+    assert full["snake"][SIDES.index(4)] < full["autogen"][SIDES.index(4)]
+    assert full["autogen"][SIDES.index(64)] < full["snake"][SIDES.index(64)]
+
+    # Measured winners at small grids match the predictions.
+    for shape in [(4, 4), (8, 8), (16, 16)]:
+        meas = {}
+        pred = {}
+        for alg in ("chain", "two_phase", "snake"):
+            pt = next(p for p in small.points[alg] if p.shape == shape)
+            if pt.measured_cycles is not None:
+                meas[alg] = pt.measured_cycles
+                pred[alg] = pt.predicted_cycles
+        assert min(meas, key=meas.get) == min(pred, key=pred.get), shape
+
+
+def test_bench_fig13c_snake_8x8(benchmark):
+    from repro.collectives import snake_reduce_schedule
+    from repro.fabric import Grid, simulate
+    from repro.validation import random_inputs
+
+    grid = Grid(8, 8)
+    inputs = random_inputs(64, 256)
+
+    def run():
+        return simulate(
+            snake_reduce_schedule(grid, 256),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,80 @@
+"""Auto-Gen explorer: inspect the generated reduction trees and code.
+
+The paper's Section 5.5 pipeline in one script: for a given row size and
+vector length, run the DP + hybrid search, print the winning pre-order
+tree with its cost terms, emit the pseudo-CSL for a few PEs, execute the
+tree on the cycle simulator, and compare it against every fixed pattern
+and the Lemma 5.5 lower bound.
+
+Usage::
+
+    python examples/autogen_explorer.py [P] [B_wavelets]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.autogen.hybrid import best_reduce_tree, fixed_tree_candidates
+from repro.codegen import emit_pe_source
+from repro.collectives import reduce_1d_schedule, schedule_tree_reduce
+from repro.fabric import row_grid, simulate
+from repro.model.lower_bound import reduce_lower_bound_time
+from repro.validation import random_inputs
+
+
+def render_tree(tree) -> str:
+    """ASCII rendering of the pre-order tree, one vertex per line."""
+    depths = tree.depths()
+    lines = []
+    for v in range(tree.p):
+        kids = tree.children[v]
+        arrow = f" -> children {kids}" if kids else " (leaf)"
+        lines.append("  " * int(depths[v]) + f"PE {v}{arrow}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    b = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    best = best_reduce_tree(p, b)
+    tree = best.tree
+    print(f"Auto-Gen search for P={p}, B={b} wavelets")
+    print(f"  winner   : {best.source} candidate, predicted {best.time:.0f} cycles")
+    print(f"  tree     : {tree.describe()}")
+    print(f"  lower bnd: {reduce_lower_bound_time(p, b):.0f} cycles "
+          f"(ratio {best.time / reduce_lower_bound_time(p, b):.2f})")
+    print("\nReduction tree (indentation = tree depth):")
+    print(render_tree(tree))
+
+    # Generated code for the root, one internal vertex, one leaf.
+    grid = row_grid(p)
+    sched = schedule_tree_reduce(grid, tree, list(range(p)), b,
+                                 name=f"autogen-{p}x{b}")
+    internal = next(
+        (v for v in range(1, p) if tree.children[v]), min(p - 1, 1)
+    )
+    print("\n--- generated pseudo-CSL -------------------------------------")
+    for pe in {0, internal, p - 1}:
+        print(emit_pe_source(sched, pe))
+
+    # Execute and compare against the fixed patterns.
+    inputs = random_inputs(p, b, seed=1)
+    expected = np.sum(list(inputs.values()), axis=0)
+    print("--- simulator shoot-out ---------------------------------------")
+    print(f"{'pattern':>10} {'measured':>9} {'predicted':>10}")
+    sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+    assert np.allclose(sim.buffers[0][:b], expected)
+    print(f"{'autogen':>10} {sim.cycles:>9} {best.time:>10.0f}")
+    for name, cand in fixed_tree_candidates(p).items():
+        fixed_sched = reduce_1d_schedule(grid, name, b)
+        fsim = simulate(
+            fixed_sched, inputs={k: v.copy() for k, v in inputs.items()}
+        )
+        assert np.allclose(fsim.buffers[0][:b], expected)
+        print(f"{name:>10} {fsim.cycles:>9} {cand.model_time(b):>10.0f}")
+
+
+if __name__ == "__main__":
+    main()

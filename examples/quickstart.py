@@ -1,0 +1,62 @@
+"""Quickstart: plan, execute and verify wafer-scale collectives.
+
+Runs the three collectives of the paper on the simulated wafer with the
+model-driven planner choosing the algorithm, and prints measured vs
+predicted cycles (the paper's Figure 11 presentation in miniature).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CS2, Grid, wse
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- 1D Reduce on a 64-PE row, 256-element vectors -------------------
+    data = rng.normal(size=(64, 256))
+    out = wse.reduce(data)  # algorithm="auto": the model picks
+    assert np.allclose(out.result, data.sum(axis=0))
+    print("1D Reduce (64 PEs, B=256):")
+    print(f"  planner chose      : {out.algorithm}")
+    print(f"  predicted cycles   : {out.predicted_cycles:.0f}"
+          f"  ({CS2.cycles_to_us(out.predicted_cycles):.3f} us)")
+    print(f"  measured cycles    : {out.measured_cycles}"
+          f"  ({CS2.cycles_to_us(out.measured_cycles):.3f} us)")
+    print(f"  model error        : {out.prediction_error:.1%}")
+    ranking = ", ".join(
+        f"{k}={v:.0f}" for k, v in out.plan.choice.candidates.items()
+    )
+    print(f"  full ranking       : {ranking}")
+
+    # --- 1D AllReduce, forcing specific algorithms ------------------------
+    print("\n1D AllReduce (32 PEs, B=128), per algorithm:")
+    data = rng.normal(size=(32, 128))
+    expected = np.broadcast_to(data.sum(axis=0), data.shape)
+    for alg in ["star", "chain", "tree", "two_phase", "autogen", "ring"]:
+        out = wse.allreduce(data, algorithm=alg)
+        assert np.allclose(out.result, expected)
+        print(f"  {alg:10s} measured={out.measured_cycles:6d}"
+              f"  predicted={out.predicted_cycles:8.0f}"
+              f"  error={out.prediction_error:5.1%}")
+
+    # --- 2D Reduce + Broadcast on a grid ----------------------------------
+    grid_data = rng.normal(size=(8, 8, 64))
+    out = wse.reduce(grid_data)
+    assert np.allclose(out.result, grid_data.sum(axis=(0, 1)))
+    print(f"\n2D Reduce (8x8 grid, B=64): planner chose {out.algorithm}, "
+          f"{out.measured_cycles} cycles")
+
+    vec = rng.normal(size=64)
+    out = wse.broadcast(vec, Grid(8, 8))
+    assert np.allclose(out.result, np.broadcast_to(vec, (8, 8, 64)))
+    print(f"2D Broadcast (8x8 grid, B=64): {out.measured_cycles} cycles "
+          f"(predicted {out.predicted_cycles:.0f}) — depth-1 flooding")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro: reproduction of "Near-Optimal Wafer-Scale Reduce" (HPDC 2024).
+
+The package provides:
+
+* :mod:`repro.model` -- the spatial performance model (Eq. 1), per-
+  algorithm closed forms, and the Lemma 5.5 lower bound;
+* :mod:`repro.autogen` -- the Auto-Gen DP optimizer and tree codegen;
+* :mod:`repro.fabric` -- a cycle-level simulator of the WSE's 2D mesh;
+* :mod:`repro.collectives` -- schedule builders for every pattern in the
+  paper (Star/Chain/Tree/Two-Phase/Auto-Gen/Ring/Snake/X-Y, broadcasts);
+* :mod:`repro.core` (re-exported as :data:`repro.wse`) -- the public
+  plan/execute API with the model-driven planner;
+* :mod:`repro.timing` -- the clock-synchronization measurement
+  methodology of Section 8.3;
+* :mod:`repro.bench` -- drivers regenerating every figure of Section 8.
+
+Quickstart::
+
+    import numpy as np
+    from repro import wse
+
+    data = np.random.default_rng(0).normal(size=(64, 256))  # 64 PEs, B=256
+    out = wse.reduce(data)          # planner picks the algorithm
+    assert np.allclose(out.result, data.sum(axis=0))
+    print(out.algorithm, out.measured_cycles, out.predicted_cycles)
+"""
+
+from . import autogen, collectives, core, fabric, model
+from . import core as wse
+from .core import CollectiveOutcome, Plan, allreduce, broadcast, reduce
+from .fabric import Grid, row_grid
+from .model import CS2, MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autogen",
+    "collectives",
+    "core",
+    "fabric",
+    "model",
+    "wse",
+    "CollectiveOutcome",
+    "Plan",
+    "allreduce",
+    "broadcast",
+    "reduce",
+    "Grid",
+    "row_grid",
+    "CS2",
+    "MachineParams",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Auto-Gen Reduce (Section 5.5): DP optimizer, trees, hybrid search."""
+
+from .dp import (
+    AutogenSolution,
+    autogen_best_params,
+    autogen_tables,
+    autogen_time,
+    autogen_time_curve,
+    default_cap,
+)
+from .hybrid import (
+    BestTree,
+    autogen_hybrid_curve,
+    autogen_hybrid_time,
+    best_reduce_tree,
+    fixed_tree_candidates,
+)
+from .tree import (
+    Message,
+    ReductionTree,
+    autogen_tree,
+    binomial_tree,
+    chain_tree,
+    star_tree,
+    two_phase_tree,
+)
+
+__all__ = [
+    "AutogenSolution",
+    "autogen_best_params",
+    "autogen_tables",
+    "autogen_time",
+    "autogen_time_curve",
+    "default_cap",
+    "BestTree",
+    "autogen_hybrid_curve",
+    "autogen_hybrid_time",
+    "best_reduce_tree",
+    "fixed_tree_candidates",
+    "Message",
+    "ReductionTree",
+    "autogen_tree",
+    "binomial_tree",
+    "chain_tree",
+    "star_tree",
+    "two_phase_tree",
+]

@@ -1,0 +1,53 @@
+"""Experiment drivers regenerating the paper's tables and figures."""
+
+from .heatmaps import (
+    RatioGrid,
+    RegionGrid,
+    best_allreduce_1d_grid,
+    best_allreduce_2d_grid,
+    optimality_ratio_grid,
+)
+from .report import (
+    format_bytes_label,
+    format_ratio_grid,
+    format_region_grid,
+    format_sweep_vs_bytes,
+    format_sweep_vs_pes,
+    format_table,
+)
+from .sweeps import (
+    PE_COUNTS,
+    VECTOR_LENGTH_BYTES,
+    SweepPoint,
+    SweepResult,
+    allreduce_1d_sweep,
+    allreduce_2d_sweep,
+    broadcast_1d_sweep,
+    broadcast_2d_sweep,
+    reduce_1d_sweep,
+    reduce_2d_sweep,
+)
+
+__all__ = [
+    "RatioGrid",
+    "RegionGrid",
+    "best_allreduce_1d_grid",
+    "best_allreduce_2d_grid",
+    "optimality_ratio_grid",
+    "format_bytes_label",
+    "format_ratio_grid",
+    "format_region_grid",
+    "format_sweep_vs_bytes",
+    "format_sweep_vs_pes",
+    "format_table",
+    "PE_COUNTS",
+    "VECTOR_LENGTH_BYTES",
+    "SweepPoint",
+    "SweepResult",
+    "allreduce_1d_sweep",
+    "allreduce_2d_sweep",
+    "broadcast_1d_sweep",
+    "broadcast_2d_sweep",
+    "reduce_1d_sweep",
+    "reduce_2d_sweep",
+]

@@ -1,0 +1,159 @@
+"""ASCII rendering of sweep curves, heatmaps and region maps.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the output compact and diff-able (written next to the bench
+results and quoted in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..model.params import CS2
+from .heatmaps import RatioGrid, RegionGrid
+from .sweeps import SweepResult
+
+__all__ = [
+    "format_table",
+    "format_ratio_grid",
+    "format_region_grid",
+    "format_sweep_vs_bytes",
+    "format_sweep_vs_pes",
+    "format_bytes_label",
+]
+
+
+def format_bytes_label(nbytes: int) -> str:
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes // 1024}KB"
+    return f"{nbytes}B"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table (short rows are padded with '-')."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] + ["-"] * (len(headers) - len(row))
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for k, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_ratio_grid(grid: RatioGrid) -> str:
+    """Figure-1-style heatmap: PEs down, bytes across, ratio per cell."""
+    headers = ["PEs \\ B"] + [format_bytes_label(nb) for nb in grid.byte_lengths]
+    rows = []
+    for i in range(len(grid.pe_counts) - 1, -1, -1):  # largest P on top
+        row = [f"{grid.pe_counts[i]}x1"] + [
+            f"{grid.ratios[i, j]:.1f}" for j in range(len(grid.byte_lengths))
+        ]
+        rows.append(row)
+    title = (
+        f"Optimality ratio of {grid.algorithm} (1.0 = lower bound); "
+        f"max {grid.max_ratio:.2f}"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+def format_region_grid(grid: RegionGrid, abbrev: Optional[Dict[str, str]] = None) -> str:
+    """Figure-8/10-style region map with per-cell speedup over baseline."""
+    abbrev = abbrev or {}
+
+    def short(name: str) -> str:
+        return abbrev.get(name, name[:2].upper())
+
+    headers = ["P \\ B"] + [format_bytes_label(nb) for nb in grid.byte_lengths]
+    rows = []
+    for i in range(len(grid.pe_counts) - 1, -1, -1):
+        row = [f"{grid.pe_counts[i]}"] + [
+            f"{short(grid.best[i, j])}:{grid.speedup_over_baseline[i, j]:.1f}"
+            for j in range(len(grid.byte_lengths))
+        ]
+        rows.append(row)
+    legend = ", ".join(
+        f"{short(name)}={name}" for name in sorted(set(grid.best.ravel()))
+    )
+    title = (
+        f"Best {grid.kind} per (P, B) with speedup over {grid.baseline} "
+        f"(vendor)\nlegend: {legend}"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+def _fmt_cycles(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and np.isnan(value)):
+        return "-"
+    return f"{value:.0f}"
+
+
+def format_sweep_vs_bytes(
+    result: SweepResult,
+    byte_lengths: Sequence[int],
+    title: str,
+    show_us: bool = True,
+) -> str:
+    """Figure-11/13-style series: one row per algorithm, bytes across.
+
+    Cells show ``measured/predicted`` cycles (measured ``-`` when the
+    point exceeded the simulation budget).
+    """
+    headers = ["algorithm"] + [format_bytes_label(nb) for nb in byte_lengths]
+    wavelets = [max(1, nb // 4) for nb in byte_lengths]
+    rows = []
+    for alg, pts in result.points.items():
+        by_b = {p.b: p for p in pts}
+        cells = [alg]
+        for b in wavelets:
+            p = by_b.get(b)
+            if p is None:
+                cells.append("-")  # point skipped (e.g. ring divisibility)
+                continue
+            meas = _fmt_cycles(
+                float(p.measured_cycles) if p.measured_cycles is not None else None
+            )
+            cells.append(f"{meas}/{p.predicted_cycles:.0f}")
+        rows.append(cells)
+        err = result.mean_relative_error(alg)
+        if err is not None:
+            rows[-1][0] = f"{alg} (err {err:.0%})"
+    note = "cells: measured/predicted cycles"
+    if show_us:
+        note += f"; 1 us = {CS2.clock_hz / 1e6:.0f} cycles"
+    return f"{title}\n{note}\n" + format_table(headers, rows)
+
+
+def format_sweep_vs_pes(
+    result: SweepResult,
+    shapes: Sequence[object],
+    title: str,
+) -> str:
+    """Figure-12-style series: one row per algorithm, PE counts across."""
+    shapes = [s if isinstance(s, tuple) else (s,) for s in shapes]
+    headers = ["algorithm"] + ["x".join(str(d) for d in s) for s in shapes]
+    rows = []
+    for alg, pts in result.points.items():
+        by_shape = {p.shape: p for p in pts}
+        cells = [alg]
+        for s in shapes:
+            p = by_shape.get(s)
+            if p is None:
+                cells.append("-")  # point skipped (e.g. ring divisibility)
+                continue
+            meas = _fmt_cycles(
+                float(p.measured_cycles) if p.measured_cycles is not None else None
+            )
+            cells.append(f"{meas}/{p.predicted_cycles:.0f}")
+        err = result.mean_relative_error(alg)
+        if err is not None:
+            cells[0] = f"{alg} (err {err:.0%})"
+        rows.append(cells)
+    return f"{title}\ncells: measured/predicted cycles\n" + format_table(headers, rows)

@@ -1,0 +1,296 @@
+"""Parameter sweeps shared by the figure-regeneration benches.
+
+The paper's evaluation (Section 8) sweeps two axes: vector length at fixed
+PE count (Figures 11, 13a/b) and PE count at fixed 1 KB vectors
+(Figures 12, 13c).  Each sweep produces model predictions for every
+algorithm and — where the cycle simulator is affordable — measured cycles,
+mirroring the paper's measured-vs-predicted presentation.
+
+Full-wafer 512x512 measured runs are not feasible in a Python cycle
+simulator (the paper's own full-scale heatmaps are model-driven); the
+``max_movements`` budget decides which points are simulated, and
+everything else reports predictions.  EXPERIMENTS.md documents this
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..collectives.allreduce import allreduce_1d_schedule, allreduce_2d_schedule
+from ..collectives.broadcast import broadcast_2d_schedule, broadcast_row_schedule
+from ..collectives.reduce import reduce_1d_schedule
+from ..collectives.xy import snake_reduce_schedule, xy_reduce_schedule
+from ..core import registry
+from ..fabric.geometry import Grid
+from ..fabric.simulator import simulate
+from ..model import analytic
+from ..model.params import CS2, MachineParams
+from ..validation.verify import random_inputs, verify_allreduce, verify_broadcast, verify_reduce
+
+__all__ = [
+    "VECTOR_LENGTH_BYTES",
+    "PE_COUNTS",
+    "SweepPoint",
+    "SweepResult",
+    "reduce_1d_sweep",
+    "allreduce_1d_sweep",
+    "broadcast_1d_sweep",
+    "reduce_2d_sweep",
+    "allreduce_2d_sweep",
+    "broadcast_2d_sweep",
+]
+
+#: Figure 1/11/13 x-axis: 4 B .. 32 KB (the paper's 2^2 .. 2^15 bytes).
+VECTOR_LENGTH_BYTES: Tuple[int, ...] = tuple(2**k for k in range(2, 16))
+
+#: Figure 1/12 y-axis: rows of 4 .. 512 PEs.
+PE_COUNTS: Tuple[int, ...] = tuple(2**k for k in range(2, 10))
+
+
+@dataclass
+class SweepPoint:
+    """One (algorithm, shape, B) evaluation."""
+
+    algorithm: str
+    shape: Tuple[int, ...]
+    b: int
+    predicted_cycles: float
+    measured_cycles: Optional[int] = None
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.measured_cycles in (None, 0):
+            return None
+        return abs(self.measured_cycles - self.predicted_cycles) / self.measured_cycles
+
+    @property
+    def predicted_us(self) -> float:
+        return CS2.cycles_to_us(self.predicted_cycles)
+
+    @property
+    def measured_us(self) -> Optional[float]:
+        if self.measured_cycles is None:
+            return None
+        return CS2.cycles_to_us(self.measured_cycles)
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, keyed by algorithm."""
+
+    points: Dict[str, List[SweepPoint]] = field(default_factory=dict)
+
+    def add(self, point: SweepPoint) -> None:
+        self.points.setdefault(point.algorithm, []).append(point)
+
+    def curve(self, algorithm: str, what: str = "predicted") -> np.ndarray:
+        pts = self.points[algorithm]
+        if what == "predicted":
+            return np.array([p.predicted_cycles for p in pts])
+        return np.array(
+            [p.measured_cycles if p.measured_cycles is not None else np.nan for p in pts]
+        )
+
+    def mean_relative_error(self, algorithm: str) -> Optional[float]:
+        errs = [
+            p.relative_error
+            for p in self.points[algorithm]
+            if p.relative_error is not None
+        ]
+        return float(np.mean(errs)) if errs else None
+
+
+def _movement_estimate(kind: str, algorithm: str, p: int, b: int) -> float:
+    """Rough wavelet-movement count of a simulated point (cost guard)."""
+    if kind == "broadcast":
+        return float(b) * p
+    if algorithm == "star":
+        return float(b) * p * p / 2
+    if algorithm in ("tree",):
+        return float(b) * p * max(1, int(np.log2(max(p, 2)))) / 2
+    if algorithm == "ring":
+        return 4.0 * b * p
+    return 2.0 * float(b) * p  # chain / two-phase / autogen / snake
+
+
+def reduce_1d_sweep(
+    pe_counts: Sequence[int],
+    byte_lengths: Sequence[int],
+    algorithms: Sequence[str] = ("star", "chain", "tree", "two_phase", "autogen"),
+    params: MachineParams = CS2,
+    measure: bool = True,
+    max_movements: float = 3e6,
+    seed: int = 7,
+) -> SweepResult:
+    """1D Reduce sweep over the cross-product of PEs and vector bytes."""
+    result = SweepResult()
+    for p in pe_counts:
+        grid = Grid(1, p)
+        for nbytes in byte_lengths:
+            b = params.bytes_to_wavelets(nbytes)
+            for alg in algorithms:
+                predicted = registry.reduce_1d_predict(alg, p, b, params)
+                measured = None
+                if measure and _movement_estimate("reduce", alg, p, b) <= max_movements:
+                    sched = reduce_1d_schedule(grid, alg, b, params=params)
+                    inputs = random_inputs(p, b, seed=seed)
+                    sim = verify_reduce(sched, inputs, b, params=params)
+                    measured = sim.cycles
+                result.add(
+                    SweepPoint(alg, (p,), b, float(predicted), measured)
+                )
+    return result
+
+
+def allreduce_1d_sweep(
+    pe_counts: Sequence[int],
+    byte_lengths: Sequence[int],
+    algorithms: Sequence[str] = (
+        "star", "chain", "tree", "two_phase", "autogen", "ring",
+    ),
+    params: MachineParams = CS2,
+    measure: bool = True,
+    max_movements: float = 3e6,
+    seed: int = 7,
+) -> SweepResult:
+    """1D AllReduce sweep; Ring points require B divisible by P."""
+    result = SweepResult()
+    for p in pe_counts:
+        grid = Grid(1, p)
+        for nbytes in byte_lengths:
+            b = params.bytes_to_wavelets(nbytes)
+            for alg in algorithms:
+                if alg == "ring" and b % p != 0:
+                    continue
+                predicted = registry.allreduce_1d_predict(alg, p, b, params)
+                measured = None
+                if measure and _movement_estimate("allreduce", alg, p, b) <= max_movements:
+                    sched = allreduce_1d_schedule(grid, alg, b, params=params)
+                    inputs = random_inputs(p, b, seed=seed)
+                    sim = verify_allreduce(sched, inputs, b, params=params)
+                    measured = sim.cycles
+                result.add(
+                    SweepPoint(alg, (p,), b, float(predicted), measured)
+                )
+    return result
+
+
+def broadcast_1d_sweep(
+    pe_counts: Sequence[int],
+    byte_lengths: Sequence[int],
+    params: MachineParams = CS2,
+    measure: bool = True,
+    max_movements: float = 3e6,
+    seed: int = 7,
+) -> SweepResult:
+    """1D flooding-broadcast sweep (Figures 11a, 12a)."""
+    result = SweepResult()
+    rng = np.random.default_rng(seed)
+    for p in pe_counts:
+        grid = Grid(1, p)
+        for nbytes in byte_lengths:
+            b = params.bytes_to_wavelets(nbytes)
+            predicted = float(analytic.broadcast_1d_time(p, b, params))
+            measured = None
+            if measure and _movement_estimate("broadcast", "flood", p, b) <= max_movements:
+                sched = broadcast_row_schedule(grid, b)
+                sim = verify_broadcast(sched, rng.normal(size=b), params=params)
+                measured = sim.cycles
+            result.add(SweepPoint("flood", (p,), b, predicted, measured))
+    return result
+
+
+def reduce_2d_sweep(
+    grids: Sequence[Tuple[int, int]],
+    byte_lengths: Sequence[int],
+    algorithms: Sequence[str] = (
+        "star", "chain", "tree", "two_phase", "autogen", "snake",
+    ),
+    params: MachineParams = CS2,
+    measure: bool = True,
+    max_movements: float = 3e6,
+    seed: int = 7,
+) -> SweepResult:
+    """2D Reduce sweep over grid shapes (Figures 13a, 13c)."""
+    result = SweepResult()
+    for m, n in grids:
+        grid = Grid(m, n)
+        for nbytes in byte_lengths:
+            b = params.bytes_to_wavelets(nbytes)
+            for alg in algorithms:
+                predicted = registry.reduce_2d_predict(alg, m, n, b, params)
+                measured = None
+                cost = _movement_estimate("reduce", alg, m * n, b)
+                if measure and cost <= max_movements:
+                    if alg == "snake":
+                        sched = snake_reduce_schedule(grid, b, params=params)
+                    else:
+                        sched = xy_reduce_schedule(grid, alg, b, params=params)
+                    inputs = random_inputs(m * n, b, seed=seed)
+                    sim = verify_reduce(sched, inputs, b, params=params)
+                    measured = sim.cycles
+                result.add(
+                    SweepPoint(alg, (m, n), b, float(predicted), measured)
+                )
+    return result
+
+
+def allreduce_2d_sweep(
+    grids: Sequence[Tuple[int, int]],
+    byte_lengths: Sequence[int],
+    algorithms: Sequence[str] = (
+        "star", "chain", "tree", "two_phase", "autogen", "snake",
+    ),
+    params: MachineParams = CS2,
+    measure: bool = True,
+    max_movements: float = 3e6,
+    seed: int = 7,
+) -> SweepResult:
+    """2D AllReduce sweep: 2D Reduce + corner broadcast (Figure 13b)."""
+    result = SweepResult()
+    for m, n in grids:
+        grid = Grid(m, n)
+        for nbytes in byte_lengths:
+            b = params.bytes_to_wavelets(nbytes)
+            for alg in algorithms:
+                predicted = registry.allreduce_2d_predict(alg, m, n, b, params)
+                measured = None
+                cost = 2 * _movement_estimate("reduce", alg, m * n, b)
+                if measure and cost <= max_movements:
+                    sched = allreduce_2d_schedule(grid, alg, b, params=params)
+                    inputs = random_inputs(m * n, b, seed=seed)
+                    sim = verify_allreduce(sched, inputs, b, params=params)
+                    measured = sim.cycles
+                result.add(
+                    SweepPoint(alg, (m, n), b, float(predicted), measured)
+                )
+    return result
+
+
+def broadcast_2d_sweep(
+    grids: Sequence[Tuple[int, int]],
+    byte_lengths: Sequence[int],
+    params: MachineParams = CS2,
+    measure: bool = True,
+    max_movements: float = 3e6,
+    seed: int = 7,
+) -> SweepResult:
+    """2D corner-broadcast sweep (Lemma 7.1 validation)."""
+    result = SweepResult()
+    rng = np.random.default_rng(seed)
+    for m, n in grids:
+        grid = Grid(m, n)
+        for nbytes in byte_lengths:
+            b = params.bytes_to_wavelets(nbytes)
+            predicted = float(analytic.broadcast_2d_time(m, n, b, params))
+            measured = None
+            if measure and _movement_estimate("broadcast", "flood", m * n, b) <= max_movements:
+                sched = broadcast_2d_schedule(grid, b)
+                sim = verify_broadcast(sched, rng.normal(size=b), params=params)
+                measured = sim.cycles
+            result.add(SweepPoint("flood", (m, n), b, predicted, measured))
+    return result

@@ -1,0 +1,5 @@
+"""Pseudo-CSL code generation from fabric schedules."""
+
+from .csl import emit_pe_source, emit_schedule_source, schedule_summary
+
+__all__ = ["emit_pe_source", "emit_schedule_source", "schedule_summary"]

@@ -1,0 +1,136 @@
+"""Pseudo-CSL emitter: render a schedule as per-PE source listings.
+
+The paper's Auto-Gen implementation is "a python program which computes
+the optimal tree and generates the code with the routing and PE code"
+(Section 5.5) targeting the Cerebras SDK's CSL language.  Without the
+proprietary toolchain we emit an equivalent human-readable CSL-like
+listing per PE: color routing declarations (the ``@set_local_color_config``
+equivalents) and the task body built from fabric DSD operations.  The
+listings are a faithful rendition of the IR the simulator executes, so
+they double as documentation of what each PE does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..fabric.geometry import PORT_NAMES, Grid
+from ..fabric.ir import (
+    Delay,
+    Recv,
+    RecvReduceSend,
+    SampleClock,
+    Schedule,
+    Send,
+    SendCtrl,
+    SendRecv,
+)
+
+__all__ = ["emit_pe_source", "emit_schedule_source", "schedule_summary"]
+
+
+def _fmt_ports(ports) -> str:
+    return "{" + ", ".join(PORT_NAMES[p] for p in ports) + "}"
+
+
+def _emit_router(prog) -> List[str]:
+    lines: List[str] = []
+    for color in sorted(prog.router):
+        rules = prog.router[color]
+        lines.append(f"// color {color}: {len(rules)} routing configuration(s)")
+        for i, rule in enumerate(rules):
+            count = "forever" if rule.count is None else f"{rule.count} wavelets"
+            lines.append(
+                f"@set_color_config(color={color}, cfg={i}, "
+                f"rx={PORT_NAMES[rule.accept]}, "
+                f"tx={_fmt_ports(rule.forward)}, advance_after={count});"
+            )
+    return lines
+
+
+def _emit_ops(prog) -> List[str]:
+    lines: List[str] = []
+    for op in prog.ops:
+        if isinstance(op, Send):
+            lines.append(
+                f"@fmovs(fab_out(color={op.color}), "
+                f"mem1d(buf[{op.offset}:{op.offset + op.length}]));"
+                f"  // send {op.length} wavelets"
+            )
+        elif isinstance(op, Recv):
+            verb = "@fadds" if op.combine else "@fmovs"
+            what = "accumulate" if op.combine else "store"
+            lines.append(
+                f"{verb}(mem1d(buf[{op.offset}:{op.offset + op.length}]), "
+                f"fab_in(color={op.color}, messages={op.messages}));"
+                f"  // {what} {op.messages} x {op.length} wavelets"
+            )
+        elif isinstance(op, RecvReduceSend):
+            lines.append(
+                f"@fadds(fab_out(color={op.out_color}), "
+                f"mem1d(buf[{op.offset}:{op.offset + op.length}]), "
+                f"fab_in(color={op.in_color}));"
+                f"  // streaming combine-and-forward, {op.length} wavelets"
+            )
+        elif isinstance(op, SendRecv):
+            mode = "reduce" if op.combine else "gather"
+            lines.append(
+                f"@fduplex(tx=fab_out(color={op.send_color}, "
+                f"buf[{op.send_offset}:{op.send_offset + op.length}]), "
+                f"rx=fab_in(color={op.recv_color}, "
+                f"buf[{op.recv_offset}:{op.recv_offset + op.length}], "
+                f"{mode}));  // full-duplex ring round"
+            )
+        elif isinstance(op, SendCtrl):
+            lines.append(
+                f"@fmovs(fab_out(color={op.color}), ctrl_wavelet());"
+                f"  // advance routing configurations along the path"
+            )
+        elif isinstance(op, Delay):
+            lines.append(f"@busy_wait({op.cycles});  // calibration writes")
+        elif isinstance(op, SampleClock):
+            lines.append(f"@sample_clock(\"{op.tag}\");")
+        else:
+            lines.append(f"// <unknown op {op!r}>")
+    return lines
+
+
+def emit_pe_source(schedule: Schedule, pe: int) -> str:
+    """CSL-like listing for one PE of a schedule."""
+    prog = schedule.programs.get(pe)
+    row, col = schedule.grid.coords(pe)
+    header = [
+        f"// schedule {schedule.name!r} -- PE ({row}, {col}) [flat {pe}]",
+        f"// buffer: f32 buf[{schedule.buffer_size}]",
+    ]
+    if prog is None or prog.is_idle():
+        return "\n".join(header + ["// (idle PE)"]) + "\n"
+    body = (
+        header
+        + ["", "// ---- router ----"]
+        + _emit_router(prog)
+        + ["", "// ---- task body ----", "task main() {"]
+        + ["  " + line for line in _emit_ops(prog)]
+        + ["}"]
+    )
+    return "\n".join(body) + "\n"
+
+
+def emit_schedule_source(schedule: Schedule, limit: int | None = None) -> str:
+    """Listings for every participating PE (optionally the first ``limit``)."""
+    pes = sorted(schedule.programs)
+    if limit is not None:
+        pes = pes[:limit]
+    return "\n".join(emit_pe_source(schedule, pe) for pe in pes)
+
+
+def schedule_summary(schedule: Schedule) -> str:
+    """Compact one-paragraph description: sizes, colors, rule/op counts."""
+    stats = schedule.stats()
+    grid = schedule.grid
+    return (
+        f"schedule {schedule.name!r} on {grid.rows}x{grid.cols} grid: "
+        f"{stats['pes']} active PEs, {stats['colors']} colors, "
+        f"{stats['rules']} router rules, {stats['ops']} processor ops, "
+        f"buffer {schedule.buffer_size} elements"
+    )

@@ -1,0 +1,71 @@
+"""Collective schedule builders: Broadcast, Reduce, AllReduce, 1D and 2D."""
+
+from .allreduce import (
+    allreduce_1d_schedule,
+    allreduce_2d_schedule,
+    allreduce_lane_schedule,
+    xy_allreduce_schedule,
+)
+from .butterfly import butterfly_allreduce_schedule
+from .broadcast import (
+    broadcast_2d_schedule,
+    broadcast_lane_schedule,
+    broadcast_row_schedule,
+)
+from .middle_root import (
+    middle_root_allreduce_schedule,
+    middle_root_allreduce_time,
+)
+from .distribution import (
+    allgather_schedule,
+    gather_schedule,
+    reduce_scatter_schedule,
+    scatter_schedule,
+)
+from .lanes import col_lane, row_lane, snake_lane, validate_lane
+from .reduce import REDUCE_PATTERNS, reduce_1d_schedule, reduce_tree_for
+from .ring import RING_MAPPINGS, ring_allreduce_schedule, ring_order
+from .tree_schedule import schedule_tree_reduce
+from .trees import (
+    TREE_BUILDERS,
+    binomial_tree,
+    chain_tree,
+    star_tree,
+    two_phase_tree,
+)
+from .xy import snake_reduce_schedule, xy_reduce_schedule
+
+__all__ = [
+    "butterfly_allreduce_schedule",
+    "middle_root_allreduce_schedule",
+    "middle_root_allreduce_time",
+    "allgather_schedule",
+    "gather_schedule",
+    "reduce_scatter_schedule",
+    "scatter_schedule",
+    "allreduce_1d_schedule",
+    "allreduce_2d_schedule",
+    "allreduce_lane_schedule",
+    "xy_allreduce_schedule",
+    "broadcast_2d_schedule",
+    "broadcast_lane_schedule",
+    "broadcast_row_schedule",
+    "col_lane",
+    "row_lane",
+    "snake_lane",
+    "validate_lane",
+    "REDUCE_PATTERNS",
+    "reduce_1d_schedule",
+    "reduce_tree_for",
+    "RING_MAPPINGS",
+    "ring_allreduce_schedule",
+    "ring_order",
+    "schedule_tree_reduce",
+    "TREE_BUILDERS",
+    "binomial_tree",
+    "chain_tree",
+    "star_tree",
+    "two_phase_tree",
+    "snake_reduce_schedule",
+    "xy_reduce_schedule",
+]

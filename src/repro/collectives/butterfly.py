@@ -1,0 +1,180 @@
+"""Butterfly (recursive halving/doubling) AllReduce on the mesh row.
+
+The paper plots a *predicted* butterfly in Figure 11c and does not
+implement it; we do, as an extension, to test the prediction.  The
+pattern is Rabenseifner's: ``log2 P`` reduce-scatter rounds exchange
+vector halves with partners at distance ``2^k`` (keeping the half
+selected by bit ``k`` of the PE index), then the mirrored allgather
+rounds reassemble the full vector.
+
+Mapping onto the mesh exposes why the butterfly disappoints there: all
+round-``k`` exchanges within a ``2^{k+1}``-block cross the same middle
+links, so the streams serialize on the link bandwidth — congestion the
+hypercube-style cost models (and our optimistic ``halving_doubling``
+Equation-(1) variant) do not charge for.  Measured cycles land between
+the two analytic variants of
+:func:`repro.model.analytic.butterfly_allreduce_time`, closer to the
+pessimistic one the paper plots.
+
+Routing uses two colors (eastbound and westbound streams).  Per link,
+streams arrive in round order by induction (every router forwards in its
+rule order), so counted configuration lists sequence the rounds exactly
+like the tree schedules' loose synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..fabric.geometry import Grid, Port
+from ..fabric.ir import RouterRule, Schedule, SendRecv
+from .lanes import validate_lane
+
+__all__ = ["butterfly_allreduce_schedule"]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def butterfly_allreduce_schedule(
+    grid: Grid,
+    b: int,
+    row: int = 0,
+    length: int | None = None,
+    colors: Tuple[int, int] = (0, 1),
+    name: str = "butterfly-allreduce",
+    lane: Sequence[int] | None = None,
+) -> Schedule:
+    """Halving/doubling AllReduce along a grid row (or explicit lane).
+
+    Requires a power-of-two ring size and ``b`` divisible by it (the
+    segments halve every round down to ``B / P``).
+    """
+    if lane is None:
+        lane = [
+            grid.index(row, c)
+            for c in range(grid.cols if length is None else length)
+        ]
+    validate_lane(grid, lane)
+    p = len(lane)
+    if p < 2:
+        raise ValueError("butterfly needs at least 2 PEs")
+    if not _is_power_of_two(p):
+        raise ValueError(f"butterfly needs a power-of-two PE count, got {p}")
+    if b % p != 0:
+        raise ValueError(f"vector length {b} not divisible by {p}")
+    rounds = p.bit_length() - 1
+    east_color, west_color = colors
+    if east_color == west_color:
+        raise ValueError("butterfly needs two distinct colors")
+
+    schedule = Schedule(grid=grid, buffer_size=b, name=name)
+    for pe in lane:
+        schedule.program(pe)
+
+    # --- replay the segment bookkeeping to collect per-round messages ----
+    # seg[i] = (offset, length) of PE i's current working segment.
+    seg: List[Tuple[int, int]] = [(0, b) for _ in range(p)]
+    # messages: list of rounds; each round is a list of
+    # (src_pos, dst_pos, payload_offset, payload_len, combine)
+    rs_rounds: List[List[Tuple[int, int, int, int]]] = []
+    ag_state: List[List[Tuple[int, int]]] = []  # seg snapshot per round
+    for k in range(rounds):
+        ag_state.append(list(seg))
+        msgs = []
+        for i in range(p):
+            partner = i ^ (1 << k)
+            off, ln = seg[i]
+            half = ln // 2
+            if i & (1 << k) == 0:
+                keep = (off, half)
+                send = (off + half, half)
+            else:
+                keep = (off + half, half)
+                send = (off, half)
+            msgs.append((i, partner, send[0], send[1]))
+            seg[i] = keep
+        rs_rounds.append(msgs)
+
+    ag_rounds: List[List[Tuple[int, int, int, int]]] = []
+    for k in range(rounds - 1, -1, -1):
+        msgs = []
+        for i in range(p):
+            partner = i ^ (1 << k)
+            off, ln = seg[i]
+            msgs.append((i, partner, off, ln))
+        ag_rounds.append(msgs)
+        # Segments grow back to the round-k parents.
+        seg = list(ag_state[k])
+
+    # --- router rules, in global round order per color --------------------
+    def register(src: int, dst: int, ln: int) -> None:
+        # Lane-relative directions: "east" means towards higher lane
+        # positions; the physical ports come from the lane geometry.
+        step = 1 if dst > src else -1
+        color = east_color if dst > src else west_color
+        for pos in range(src, dst + step, step):
+            prog = schedule.program(lane[pos])
+            rules = prog.router.setdefault(color, [])
+            toward = (
+                grid.step_port(lane[pos], lane[pos + step])
+                if pos != dst
+                else Port.RAMP
+            )
+            backward = (
+                grid.step_port(lane[pos], lane[pos - step])
+                if pos != src
+                else Port.RAMP
+            )
+            rules.append(
+                RouterRule(accept=backward, forward=(toward,), count=ln)
+            )
+
+    # Within a round, register eastbound streams west-to-east and
+    # westbound streams east-to-west so per-router rule order matches the
+    # serialization the link FIFOs impose.
+    all_rounds = rs_rounds + ag_rounds
+    for msgs in all_rounds:
+        for src, dst, off, ln in sorted(msgs):
+            if dst > src:
+                register(src, dst, ln)
+        for src, dst, off, ln in sorted(msgs, reverse=True):
+            if dst < src:
+                register(src, dst, ln)
+
+    # --- processor programs ------------------------------------------------
+    # Per round, PE i sends its outgoing half and receives the half it
+    # keeps (reduce-scatter: combine) or its partner's segment (allgather:
+    # store at the partner's offset).
+    recv_spec: Dict[int, List[Tuple[int, int, bool]]] = {i: [] for i in range(p)}
+    send_spec: Dict[int, List[Tuple[int, int, int]]] = {i: [] for i in range(p)}
+    for rnd, msgs in enumerate(all_rounds):
+        combine = rnd < rounds  # reduce-scatter combines, allgather stores
+        for src, dst, off, ln in msgs:
+            send_spec[src].append((off, ln, 1 if dst > src else -1))
+            # Partners share the same working segment, so the receiver
+            # lands the payload at the sender's global offsets: in
+            # reduce-scatter that is the half it keeps; in allgather it is
+            # the sibling block being gathered back.
+            recv_spec[dst].append((off, ln, combine))
+
+    for i in range(p):
+        prog = schedule.program(lane[i])
+        for (s_off, s_ln, s_dir), (r_off, r_ln, combine) in zip(
+            send_spec[i], recv_spec[i]
+        ):
+            send_color = east_color if s_dir > 0 else west_color
+            recv_color = west_color if s_dir > 0 else east_color
+            prog.ops.append(
+                SendRecv(
+                    send_color=send_color,
+                    recv_color=recv_color,
+                    length=s_ln,
+                    send_offset=s_off,
+                    recv_offset=r_off,
+                    combine=combine,
+                )
+            )
+    schedule.validate()
+    return schedule

@@ -1,0 +1,280 @@
+"""Data-distribution collectives: Gather, Scatter, AllGather, ReduceScatter.
+
+The paper focuses on Reduce/AllReduce/Broadcast; a usable collectives
+library also needs their data-movement siblings, and all four fall out of
+the same machinery:
+
+* **Gather** — the Star pattern with *storing* receives: every PE streams
+  its vector to the root, serialized nearest-first by the same counted
+  router configurations as Star Reduce; the root stores stream ``i`` at
+  offset ``i·B``.  Contention ``B (P-1)`` at the root is optimal (it must
+  receive that much data).
+* **Scatter** — Gather reversed: the root streams per-PE chunks
+  farthest-first; router ``i`` forwards the ``(P-1-i)`` later chunks and
+  then peels off its own.  One color, depth 1.
+* **AllGather** — the Ring's allgather phase standalone: ``P-1``
+  full-duplex rounds forwarding ``B``-wavelet blocks around the ring
+  (static virtual-channel routes, Figure 7a's mapping).
+* **ReduceScatter** — the Ring's reduce-scatter phase with the chunk
+  indexing shifted so PE ``i`` ends holding *its* reduced block ``i``
+  (kept at offset ``i·chunk`` of the buffer).
+
+Model formulas live in :mod:`repro.model.analytic` as
+``gather_time`` / ``scatter_time`` / ``allgather_time`` /
+``reduce_scatter_time``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..fabric.geometry import Grid, Port
+from ..fabric.ir import Recv, RouterRule, Schedule, Send, SendRecv
+from .lanes import validate_lane
+from .ring import _color_edges, _edge_routes, ring_order
+
+__all__ = [
+    "gather_schedule",
+    "scatter_schedule",
+    "allgather_schedule",
+    "reduce_scatter_schedule",
+]
+
+
+def gather_schedule(
+    grid: Grid,
+    b: int,
+    row: int = 0,
+    length: int | None = None,
+    color: int = 0,
+    name: str = "gather",
+    lane: Sequence[int] | None = None,
+) -> Schedule:
+    """Gather every PE's ``b``-vector to ``lane[0]``.
+
+    The root's buffer ends as the concatenation: block ``i`` holds
+    ``lane[i]``'s vector (the root's own data occupies block 0).
+    """
+    if lane is None:
+        lane = [
+            grid.index(row, c)
+            for c in range(grid.cols if length is None else length)
+        ]
+    validate_lane(grid, lane)
+    p = len(lane)
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    schedule = Schedule(grid=grid, buffer_size=p * b, name=name)
+    root = lane[0]
+    root_prog = schedule.program(root)
+    if p == 1:
+        return schedule
+    # Streams are serialized nearest-first: router i passes its own PE's
+    # vector, then forwards the (p - 1 - i) streams from farther out.
+    for i in range(1, p):
+        pe = lane[i]
+        prog = schedule.program(pe)
+        toward = grid.step_port(pe, lane[i - 1])
+        rules = [RouterRule(accept=Port.RAMP, forward=(toward,), count=b)]
+        if i + 1 < p:
+            backward = grid.step_port(pe, lane[i + 1])
+            rules.append(
+                RouterRule(
+                    accept=backward, forward=(toward,), count=(p - 1 - i) * b
+                )
+            )
+        prog.router[color] = rules
+        prog.ops.append(Send(color=color, length=b, offset=0))
+    inbound = grid.step_port(root, lane[1])
+    root_prog.router[color] = [
+        RouterRule(accept=inbound, forward=(Port.RAMP,), count=(p - 1) * b)
+    ]
+    for i in range(1, p):
+        root_prog.ops.append(
+            Recv(color=color, length=b, offset=i * b, combine=False)
+        )
+    schedule.validate()
+    return schedule
+
+
+def scatter_schedule(
+    grid: Grid,
+    b: int,
+    row: int = 0,
+    length: int | None = None,
+    color: int = 0,
+    name: str = "scatter",
+    lane: Sequence[int] | None = None,
+) -> Schedule:
+    """Scatter per-PE chunks from ``lane[0]``.
+
+    The root's buffer holds ``P`` blocks of ``b`` wavelets; block ``i``
+    lands at offset 0 of ``lane[i]``'s buffer (MPI scatter semantics).
+    Chunks are sent farthest-first so the counted pass-through rules peel
+    the stream apart.
+    """
+    if lane is None:
+        lane = [
+            grid.index(row, c)
+            for c in range(grid.cols if length is None else length)
+        ]
+    validate_lane(grid, lane)
+    p = len(lane)
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    schedule = Schedule(grid=grid, buffer_size=p * b, name=name)
+    root = lane[0]
+    root_prog = schedule.program(root)
+    if p == 1:
+        return schedule
+    outbound = grid.step_port(root, lane[1])
+    root_prog.router[color] = [
+        RouterRule(accept=Port.RAMP, forward=(outbound,), count=(p - 1) * b)
+    ]
+    for i in range(p - 1, 0, -1):  # farthest chunk first
+        root_prog.ops.append(Send(color=color, length=b, offset=i * b))
+    for i in range(1, p):
+        pe = lane[i]
+        prog = schedule.program(pe)
+        inbound = grid.step_port(pe, lane[i - 1])
+        rules = []
+        if i + 1 < p:
+            onward = grid.step_port(pe, lane[i + 1])
+            rules.append(
+                RouterRule(
+                    accept=inbound, forward=(onward,), count=(p - 1 - i) * b
+                )
+            )
+        rules.append(RouterRule(accept=inbound, forward=(Port.RAMP,), count=b))
+        prog.router[color] = rules
+        prog.ops.append(Recv(color=color, length=b, offset=0, combine=False))
+    schedule.validate()
+    return schedule
+
+
+def _ring_rounds_schedule(
+    grid: Grid,
+    lane: Sequence[int],
+    chunk: int,
+    total_blocks: int,
+    phase: str,
+    palette: Sequence[int],
+    name: str,
+) -> Schedule:
+    """Shared Ring machinery for AllGather / ReduceScatter.
+
+    ``phase`` is ``"allgather"`` (store, blocks are whole vectors) or
+    ``"reduce_scatter"`` (combine, blocks are vector chunks).
+    """
+    p = len(lane)
+    order = ring_order(p, "simple")
+    routes = _edge_routes(order, lane)
+    colors = _color_edges(routes, palette)
+    schedule = Schedule(
+        grid=grid, buffer_size=total_blocks * chunk, name=name
+    )
+    for k, route in enumerate(routes):
+        color = colors[k]
+        for idx, pe in enumerate(route):
+            prog = schedule.program(pe)
+            rules = prog.router.setdefault(color, [])
+            accept = (
+                Port.RAMP if idx == 0 else grid.step_port(pe, route[idx - 1])
+            )
+            forward: Tuple[int, ...] = (
+                (Port.RAMP,)
+                if idx == len(route) - 1
+                else (grid.step_port(pe, route[idx + 1]),)
+            )
+            if not rules:
+                rules.append(
+                    RouterRule(accept=accept, forward=forward, count=None)
+                )
+    ring_index = {order[k]: k for k in range(p)}
+    for pos in range(p):
+        pe = lane[pos]
+        k = ring_index[pos]
+        send_color = colors[k]
+        recv_color = colors[(k - 1) % p]
+        prog = schedule.program(pe)
+        for r in range(p - 1):
+            if phase == "allgather":
+                send_block = (k - r) % p
+                recv_block = (k - 1 - r) % p
+                combine = False
+            else:  # reduce_scatter: PE k ends owning block k
+                send_block = (k - 1 - r) % p
+                recv_block = (k - 2 - r) % p
+                combine = True
+            prog.ops.append(
+                SendRecv(
+                    send_color=send_color,
+                    recv_color=recv_color,
+                    length=chunk,
+                    send_offset=send_block * chunk,
+                    recv_offset=recv_block * chunk,
+                    combine=combine,
+                )
+            )
+    schedule.validate()
+    return schedule
+
+
+def allgather_schedule(
+    grid: Grid,
+    b: int,
+    row: int = 0,
+    length: int | None = None,
+    palette: Sequence[int] = (0, 1, 2),
+    name: str = "allgather",
+    lane: Sequence[int] | None = None,
+) -> Schedule:
+    """AllGather along a row: every PE ends with all ``P`` vectors.
+
+    PE ``i``'s own ``b``-vector must sit at block ``i`` of its
+    ``P·b``-element buffer before the collective (the public API places
+    it there); afterwards every block is populated everywhere.
+    """
+    if lane is None:
+        lane = [
+            grid.index(row, c)
+            for c in range(grid.cols if length is None else length)
+        ]
+    validate_lane(grid, lane)
+    if len(lane) < 2:
+        raise ValueError("allgather needs at least 2 PEs")
+    return _ring_rounds_schedule(
+        grid, lane, chunk=b, total_blocks=len(lane),
+        phase="allgather", palette=palette, name=name,
+    )
+
+
+def reduce_scatter_schedule(
+    grid: Grid,
+    b: int,
+    row: int = 0,
+    length: int | None = None,
+    palette: Sequence[int] = (0, 1, 2),
+    name: str = "reduce-scatter",
+    lane: Sequence[int] | None = None,
+) -> Schedule:
+    """ReduceScatter along a row: PE ``i`` ends with reduced block ``i``.
+
+    Requires ``b`` divisible by the ring size; the result block stays at
+    offset ``i·(b/P)`` of PE ``i``'s buffer.
+    """
+    if lane is None:
+        lane = [
+            grid.index(row, c)
+            for c in range(grid.cols if length is None else length)
+        ]
+    validate_lane(grid, lane)
+    p = len(lane)
+    if p < 2:
+        raise ValueError("reduce-scatter needs at least 2 PEs")
+    if b % p != 0:
+        raise ValueError(f"vector length {b} not divisible by {p}")
+    return _ring_rounds_schedule(
+        grid, lane, chunk=b // p, total_blocks=p,
+        phase="reduce_scatter", palette=palette, name=name,
+    )

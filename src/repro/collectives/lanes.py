@@ -1,0 +1,65 @@
+"""Lanes: embeddings of a logical PE sequence into the physical grid.
+
+A *lane* is an ordered list of grid-adjacent flat PE indices.  Reduction
+trees are defined over logical node ids ``0 .. P-1`` (node 0 = root); a
+lane maps node ``i`` to ``lane[i]``, and every tree message travels along
+the lane towards the root.  Rows, columns and the 2D snake (Figure 9b)
+are all lanes, which is what lets one scheduler lower every pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..fabric.geometry import Grid
+
+__all__ = ["row_lane", "col_lane", "snake_lane", "validate_lane"]
+
+
+def validate_lane(grid: Grid, lane: List[int]) -> None:
+    """Check a lane is non-empty, duplicate-free and grid-adjacent."""
+    if not lane:
+        raise ValueError("empty lane")
+    if len(set(lane)) != len(lane):
+        raise ValueError("lane visits a PE twice")
+    for pe in lane:
+        if not 0 <= pe < grid.size:
+            raise ValueError(f"lane PE {pe} outside grid of {grid.size}")
+    for a, b in zip(lane, lane[1:]):
+        grid.step_port(a, b)  # raises if not adjacent
+
+
+def row_lane(grid: Grid, row: int, root_col: int = 0, length: int | None = None) -> List[int]:
+    """Lane along ``row`` with the root at ``root_col``, extending east.
+
+    ``length`` limits the lane to that many PEs (default: to the row end).
+    """
+    if not 0 <= row < grid.rows:
+        raise ValueError(f"row {row} outside grid")
+    end = grid.cols if length is None else root_col + length
+    if not root_col < end <= grid.cols:
+        raise ValueError(f"lane [{root_col}, {end}) outside row of {grid.cols}")
+    return [grid.index(row, c) for c in range(root_col, end)]
+
+
+def col_lane(grid: Grid, col: int, root_row: int = 0, length: int | None = None) -> List[int]:
+    """Lane along ``col`` with the root at ``root_row``, extending south."""
+    if not 0 <= col < grid.cols:
+        raise ValueError(f"col {col} outside grid")
+    end = grid.rows if length is None else root_row + length
+    if not root_row < end <= grid.rows:
+        raise ValueError(f"lane [{root_row}, {end}) outside column of {grid.rows}")
+    return [grid.index(r, col) for r in range(root_row, end)]
+
+
+def snake_lane(grid: Grid) -> List[int]:
+    """Boustrophedon lane through the whole grid, rooted at (0, 0).
+
+    Row 0 runs west-to-east, row 1 east-to-west, and so on, so consecutive
+    lane entries are always adjacent (Figure 9b).
+    """
+    lane: List[int] = []
+    for row in range(grid.rows):
+        cols = range(grid.cols) if row % 2 == 0 else range(grid.cols - 1, -1, -1)
+        lane.extend(grid.index(row, c) for c in cols)
+    return lane

@@ -1,0 +1,165 @@
+"""Lower a reduction tree along a lane into a fabric schedule.
+
+This is the single code generator shared by Star, Chain, Tree, Two-Phase,
+Auto-Gen, Snake and the per-row/per-column phases of the X-Y collectives.
+
+Lowering rules (Section 5.5 and Figure 6):
+
+* Messages alternate between two colors by the *sender's tree depth*
+  parity.  A vertex receives its children (depth ``d+1``) on one color and
+  sends its own message (depth ``d``) on the other, so the streaming
+  combine of the last child never needs the router to accept RAMP and a
+  link on the same color simultaneously — the reason Chain needs two
+  colors (Section 5.2).
+* Router configurations are emitted in global message post-order
+  restricted to each router: the order streams actually cross it.  Every
+  configuration forwards exactly ``B`` wavelets and then advances, which
+  is the paper's control-wavelet-driven loose synchronization.
+* Each vertex receives its first ``k-1`` children with a plain combining
+  receive and *streams* the last child through its own send
+  (:class:`~repro.fabric.ir.RecvReduceSend`), which makes the lowered
+  Chain exactly the pipelined vendor pattern and gives every tree the
+  Equation-(1) cost its model analysis assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..autogen.tree import ReductionTree
+from ..fabric.geometry import Grid, Port, opposite_port
+from ..fabric.ir import (
+    PEProgram,
+    Recv,
+    RecvReduceSend,
+    RouterRule,
+    Schedule,
+    Send,
+    SendCtrl,
+)
+from .lanes import validate_lane
+
+__all__ = ["schedule_tree_reduce"]
+
+
+def _lane_ports(grid: Grid, lane: Sequence[int]) -> List[Tuple[int, int]]:
+    """Per lane position: (port towards root, port away from root).
+
+    Entry ``i`` describes lane[i]'s router: ``towards`` exits to
+    ``lane[i-1]``; ``away`` is the port facing ``lane[i+1]`` (arrivals from
+    non-root side come in through it).  Port -1 marks lane ends.
+    """
+    ports = []
+    for i, pe in enumerate(lane):
+        towards = grid.step_port(pe, lane[i - 1]) if i > 0 else -1
+        away = grid.step_port(pe, lane[i + 1]) if i + 1 < len(lane) else -1
+        ports.append((towards, away))
+    return ports
+
+
+def schedule_tree_reduce(
+    grid: Grid,
+    tree: ReductionTree,
+    lane: Sequence[int],
+    b: int,
+    colors: Tuple[int, int] = (0, 1),
+    name: str = "tree-reduce",
+    buffer_size: int | None = None,
+    validate: bool = True,
+    use_control_wavelets: bool = False,
+) -> Schedule:
+    """Schedule executing ``tree`` over ``lane`` on vectors of ``b`` wavelets.
+
+    ``lane[i]`` is the physical PE of tree vertex ``i``; the result lands
+    in the root's (``lane[0]``'s) local buffer ``[0:b]``.
+
+    With ``use_control_wavelets=True`` the router configurations carry no
+    counts; instead each sender terminates its stream with an explicit
+    control wavelet that advances every router it passes — the device's
+    native mechanism, at a cost of one extra wavelet per message.
+    """
+    if tree.p != len(lane):
+        raise ValueError(f"tree has {tree.p} vertices but lane has {len(lane)} PEs")
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    if colors[0] == colors[1]:
+        raise ValueError("the two reduce colors must differ")
+    if validate:
+        tree.validate()
+        validate_lane(grid, lane)
+
+    schedule = Schedule(
+        grid=grid,
+        buffer_size=b if buffer_size is None else buffer_size,
+        name=name,
+    )
+    depths = tree.depths()
+    color_of = lambda src: colors[int(depths[src]) % 2]  # noqa: E731
+
+    # Every PE participates (holds input data), even single-vertex trees.
+    for node in range(tree.p):
+        schedule.program(lane[node])
+
+    # --- router configurations, in post-order per router ------------------
+    ports = _lane_ports(grid, lane)
+    count = None if use_control_wavelets else b
+    for msg in tree.message_post_order():
+        color = color_of(msg.src)
+        # Sender: own processor's stream turns towards the root.
+        src_prog = schedule.program(lane[msg.src])
+        src_prog.router.setdefault(color, []).append(
+            RouterRule(
+                accept=Port.RAMP, forward=(ports[msg.src][0],), count=count
+            )
+        )
+        # Pass-through routers between src and dst (exclusive).
+        for node in range(msg.src - 1, msg.dst, -1):
+            prog = schedule.program(lane[node])
+            prog.router.setdefault(color, []).append(
+                RouterRule(
+                    accept=ports[node][1],
+                    forward=(ports[node][0],),
+                    count=count,
+                )
+            )
+        # Destination: up the ramp.
+        dst_prog = schedule.program(lane[msg.dst])
+        dst_prog.router.setdefault(color, []).append(
+            RouterRule(
+                accept=ports[msg.dst][1], forward=(Port.RAMP,), count=count
+            )
+        )
+
+    # --- processor programs -------------------------------------------------
+    for node in range(tree.p):
+        prog = schedule.program(lane[node])
+        kids = tree.children[node]
+        in_color = colors[(int(depths[node]) + 1) % 2]
+        if node == 0:
+            if kids:
+                prog.ops.append(
+                    Recv(color=in_color, length=b, combine=True, messages=len(kids))
+                )
+            continue
+        out_color = color_of(node)
+        if kids:
+            if len(kids) > 1:
+                prog.ops.append(
+                    Recv(
+                        color=in_color,
+                        length=b,
+                        combine=True,
+                        messages=len(kids) - 1,
+                    )
+                )
+            prog.ops.append(
+                RecvReduceSend(in_color=in_color, out_color=out_color, length=b)
+            )
+        else:
+            prog.ops.append(Send(color=out_color, length=b))
+        if use_control_wavelets:
+            prog.ops.append(SendCtrl(color=out_color))
+
+    if validate:
+        schedule.validate()
+    return schedule

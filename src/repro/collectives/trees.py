@@ -1,0 +1,30 @@
+"""Fixed reduction-tree builders: Star, Chain, binomial Tree, Two-Phase.
+
+The constructions live in :mod:`repro.autogen.tree` because the pre-order
+tree formulation of Section 5.5 generalizes all of them (and the hybrid
+Auto-Gen search evaluates them as candidates); this module re-exports them
+under the collectives namespace together with the name registry the
+schedule builders use.
+"""
+
+from __future__ import annotations
+
+from ..autogen.tree import binomial_tree, chain_tree, star_tree, two_phase_tree
+
+__all__ = [
+    "star_tree",
+    "chain_tree",
+    "binomial_tree",
+    "two_phase_tree",
+    "TREE_BUILDERS",
+]
+
+#: Builders keyed by the paper's algorithm names (Auto-Gen is separate
+#: because it also depends on ``b``; see
+#: :func:`repro.autogen.hybrid.best_reduce_tree`).
+TREE_BUILDERS = {
+    "star": star_tree,
+    "chain": chain_tree,
+    "tree": binomial_tree,
+    "two_phase": two_phase_tree,
+}

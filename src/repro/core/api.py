@@ -1,0 +1,456 @@
+"""Public API: plan, simulate and verify wafer-scale collectives.
+
+The entry points mirror MPI semantics on simulated wafer state:
+
+>>> import numpy as np
+>>> from repro import wse
+>>> data = np.random.default_rng(0).normal(size=(16, 64))   # 16 PEs, B=64
+>>> out = wse.reduce(data)                                   # model picks the algorithm
+>>> np.allclose(out.result, data.sum(axis=0))
+True
+>>> out.algorithm, out.measured_cycles, out.predicted_cycles  # doctest: +SKIP
+
+``algorithm="auto"`` applies the paper's model-driven planner; any
+registered name forces a specific pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..collectives.allreduce import (
+    allreduce_1d_schedule,
+    allreduce_2d_schedule,
+    xy_allreduce_schedule,
+)
+from ..collectives.broadcast import broadcast_2d_schedule, broadcast_row_schedule
+from ..collectives.distribution import (
+    allgather_schedule,
+    gather_schedule,
+    reduce_scatter_schedule,
+    scatter_schedule,
+)
+from ..collectives.reduce import reduce_1d_schedule
+from ..collectives.xy import snake_reduce_schedule, xy_reduce_schedule
+from ..fabric.geometry import Grid
+from ..fabric.ir import Schedule
+from ..fabric.simulator import SimResult, simulate
+from ..model.analytic import (
+    allgather_time,
+    broadcast_1d_time,
+    broadcast_2d_time,
+    gather_time,
+    reduce_scatter_time,
+    scatter_time,
+)
+from ..model.params import CS2, MachineParams
+from . import planner, registry
+
+__all__ = ["CollectiveOutcome", "Plan", "plan_reduce", "plan_allreduce",
+           "reduce", "allreduce", "broadcast", "gather", "scatter",
+           "allgather", "reduce_scatter", "REDUCE_OPS"]
+
+#: Supported associative reduction operators ("sum" uses the simulator's
+#: fast path; the others are any-associative-op per the MPI semantics the
+#: paper adopts in §2.1).
+REDUCE_OPS = {
+    "sum": None,
+    "max": max,
+    "min": min,
+    "prod": lambda a, b: a * b,
+}
+
+
+def _combine_for(op: str):
+    try:
+        return REDUCE_OPS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown op {op!r}; expected one of {sorted(REDUCE_OPS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A planned collective: schedule plus its model prediction."""
+
+    schedule: Schedule
+    algorithm: str
+    grid: Grid
+    b: int
+    predicted_cycles: float
+    choice: Optional[planner.Choice] = None
+
+
+@dataclass(frozen=True)
+class CollectiveOutcome:
+    """Result of executing a planned collective on the fabric simulator."""
+
+    result: np.ndarray
+    algorithm: str
+    predicted_cycles: float
+    measured_cycles: int
+    sim: SimResult
+    plan: Plan
+
+    @property
+    def prediction_error(self) -> float:
+        """Relative model error, ``|measured - predicted| / measured``."""
+        if self.measured_cycles == 0:
+            return 0.0
+        return abs(self.measured_cycles - self.predicted_cycles) / self.measured_cycles
+
+
+def _as_grid_data(data: np.ndarray) -> Tuple[Grid, int, np.ndarray]:
+    """Normalize input to (grid, b, flat (P, B) array).
+
+    2D arrays are a row of PEs ``(P, B)``; 3D arrays are a grid
+    ``(M, N, B)``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 2:
+        p, b = data.shape
+        return Grid(1, p), b, data
+    if data.ndim == 3:
+        m, n, b = data.shape
+        return Grid(m, n), b, data.reshape(m * n, b)
+    raise ValueError(
+        f"expected (P, B) or (M, N, B) input, got shape {data.shape}"
+    )
+
+
+def plan_reduce(
+    grid: Grid,
+    b: int,
+    algorithm: str = "auto",
+    params: MachineParams = CS2,
+) -> Plan:
+    """Plan a Reduce to PE (0, 0) on ``grid`` for ``b``-wavelet vectors."""
+    if grid.rows == 1:
+        choice = planner.best_reduce_1d(grid.cols, b, params)
+        name = choice.algorithm if algorithm == "auto" else algorithm
+        if name not in registry.REDUCE_1D:
+            raise ValueError(f"unknown 1D reduce algorithm {name!r}")
+        schedule = reduce_1d_schedule(grid, name, b, params=params)
+        predicted = registry.reduce_1d_predict(name, grid.cols, b, params)
+    else:
+        choice = planner.best_reduce_2d(grid.rows, grid.cols, b, params)
+        name = choice.algorithm if algorithm == "auto" else algorithm
+        if name not in registry.REDUCE_2D:
+            raise ValueError(f"unknown 2D reduce algorithm {name!r}")
+        if name == "snake":
+            schedule = snake_reduce_schedule(grid, b, params=params)
+        else:
+            schedule = xy_reduce_schedule(grid, name, b, params=params)
+        predicted = registry.reduce_2d_predict(
+            name, grid.rows, grid.cols, b, params
+        )
+    return Plan(
+        schedule=schedule,
+        algorithm=name,
+        grid=grid,
+        b=b,
+        predicted_cycles=predicted,
+        choice=choice,
+    )
+
+
+def plan_allreduce(
+    grid: Grid,
+    b: int,
+    algorithm: str = "auto",
+    params: MachineParams = CS2,
+    xy: bool = False,
+) -> Plan:
+    """Plan an AllReduce on ``grid``.
+
+    For 2D grids, ``xy=True`` uses the row-then-column AllReduce
+    composition instead of the default Reduce + 2D Broadcast (§7.4).
+    """
+    if grid.rows == 1:
+        choice = planner.best_allreduce_1d(grid.cols, b, params)
+        name = choice.algorithm if algorithm == "auto" else algorithm
+        if name not in registry.ALLREDUCE_1D:
+            raise ValueError(f"unknown 1D allreduce algorithm {name!r}")
+        schedule = allreduce_1d_schedule(grid, name, b, params=params)
+        predicted = registry.allreduce_1d_predict(name, grid.cols, b, params)
+    else:
+        choice = planner.best_allreduce_2d(grid.rows, grid.cols, b, params)
+        name = choice.algorithm if algorithm == "auto" else algorithm
+        if xy:
+            if name == "snake":
+                raise ValueError(
+                    "the snake is a whole-grid pattern and cannot be used "
+                    "as the per-row/per-column algorithm of an X-Y "
+                    "AllReduce; pick a 1D pattern or use xy=False"
+                )
+            schedule = xy_allreduce_schedule(grid, name, b, params=params)
+            predicted = float(
+                registry.allreduce_1d_predict(name, grid.cols, b, params)
+                + registry.allreduce_1d_predict(name, grid.rows, b, params)
+            )
+        else:
+            if name not in registry.ALLREDUCE_2D:
+                raise ValueError(f"unknown 2D allreduce algorithm {name!r}")
+            schedule = allreduce_2d_schedule(grid, name, b, params=params)
+            predicted = registry.allreduce_2d_predict(
+                name, grid.rows, grid.cols, b, params
+            )
+    return Plan(
+        schedule=schedule,
+        algorithm=name,
+        grid=grid,
+        b=b,
+        predicted_cycles=predicted,
+        choice=choice,
+    )
+
+
+def _execute(
+    plan: Plan,
+    flat: np.ndarray,
+    params: MachineParams,
+    collect: str,
+    op: str = "sum",
+) -> CollectiveOutcome:
+    inputs = {pe: flat[pe].copy() for pe in range(flat.shape[0])}
+    sim = simulate(
+        plan.schedule, inputs=inputs, params=params, combine=_combine_for(op)
+    )
+    b = plan.b
+    if collect == "root":
+        result = sim.buffers[0][:b].copy()
+    else:  # every PE
+        result = np.stack(
+            [sim.buffers[pe][:b] for pe in range(flat.shape[0])]
+        )
+    return CollectiveOutcome(
+        result=result,
+        algorithm=plan.algorithm,
+        predicted_cycles=plan.predicted_cycles,
+        measured_cycles=sim.cycles,
+        sim=sim,
+        plan=plan,
+    )
+
+
+def reduce(
+    data: np.ndarray,
+    algorithm: str = "auto",
+    params: MachineParams = CS2,
+    op: str = "sum",
+) -> CollectiveOutcome:
+    """Reduce per-PE vectors to PE (0, 0) on the simulated wafer.
+
+    ``data`` is ``(P, B)`` for a row of PEs or ``(M, N, B)`` for a grid.
+    ``outcome.result`` is the ``B``-vector at the root.  ``op`` selects
+    the associative operator (:data:`REDUCE_OPS`).
+    """
+    grid, b, flat = _as_grid_data(data)
+    plan = plan_reduce(grid, b, algorithm, params)
+    return _execute(plan, flat, params, collect="root", op=op)
+
+
+def allreduce(
+    data: np.ndarray,
+    algorithm: str = "auto",
+    params: MachineParams = CS2,
+    xy: bool = False,
+    op: str = "sum",
+) -> CollectiveOutcome:
+    """AllReduce: every PE ends with the reduction; result keeps shape.
+
+    ``op`` selects the associative operator; note the Ring's
+    reduce-scatter only supports ``"sum"``-style combining semantics for
+    any associative op as well, since chunks are combined pairwise.
+    """
+    grid, b, flat = _as_grid_data(data)
+    if algorithm == "ring" and grid.rows == 1 and b % grid.cols != 0:
+        raise ValueError(
+            f"ring requires B divisible by P (B={b}, P={grid.cols}); "
+            "pad the vector or choose another algorithm"
+        )
+    plan = plan_allreduce(grid, b, algorithm, params, xy=xy)
+    out = _execute(plan, flat, params, collect="all", op=op)
+    result = out.result.reshape(
+        (grid.rows, grid.cols, b) if grid.rows > 1 else (grid.cols, b)
+    )
+    return CollectiveOutcome(
+        result=result,
+        algorithm=out.algorithm,
+        predicted_cycles=out.predicted_cycles,
+        measured_cycles=out.measured_cycles,
+        sim=out.sim,
+        plan=out.plan,
+    )
+
+
+def gather(
+    data: np.ndarray,
+    params: MachineParams = CS2,
+) -> CollectiveOutcome:
+    """Gather ``(P, B)`` per-PE vectors to PE 0 (1D rows only).
+
+    ``outcome.result`` has shape ``(P, B)``: the root's concatenated
+    buffer, block ``i`` holding PE ``i``'s vector.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"gather takes (P, B) input, got shape {data.shape}")
+    p, b = data.shape
+    grid = Grid(1, p)
+    schedule = gather_schedule(grid, b)
+    inputs = {pe: data[pe].copy() for pe in range(p)}
+    sim = simulate(schedule, inputs=inputs, params=params)
+    plan = Plan(schedule=schedule, algorithm="gather", grid=grid, b=b,
+                predicted_cycles=float(gather_time(p, b, params)))
+    return CollectiveOutcome(
+        result=sim.buffers[0][: p * b].reshape(p, b).copy(),
+        algorithm="gather",
+        predicted_cycles=plan.predicted_cycles,
+        measured_cycles=sim.cycles,
+        sim=sim,
+        plan=plan,
+    )
+
+
+def scatter(
+    blocks: np.ndarray,
+    params: MachineParams = CS2,
+) -> CollectiveOutcome:
+    """Scatter root-held ``(P, B)`` blocks: PE ``i`` receives block ``i``."""
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 2:
+        raise ValueError(f"scatter takes (P, B) blocks, got {blocks.shape}")
+    p, b = blocks.shape
+    grid = Grid(1, p)
+    schedule = scatter_schedule(grid, b)
+    sim = simulate(
+        schedule, inputs={0: blocks.reshape(-1).copy()}, params=params
+    )
+    plan = Plan(schedule=schedule, algorithm="scatter", grid=grid, b=b,
+                predicted_cycles=float(scatter_time(p, b, params)))
+    result = np.stack([sim.buffers[pe][:b] for pe in range(p)])
+    return CollectiveOutcome(
+        result=result,
+        algorithm="scatter",
+        predicted_cycles=plan.predicted_cycles,
+        measured_cycles=sim.cycles,
+        sim=sim,
+        plan=plan,
+    )
+
+
+def allgather(
+    data: np.ndarray,
+    params: MachineParams = CS2,
+) -> CollectiveOutcome:
+    """AllGather ``(P, B)`` vectors: every PE ends with all ``P`` blocks.
+
+    ``outcome.result`` has shape ``(P, P, B)`` (per PE, per block).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"allgather takes (P, B) input, got {data.shape}")
+    p, b = data.shape
+    if p < 2:
+        raise ValueError("allgather needs at least 2 PEs")
+    grid = Grid(1, p)
+    schedule = allgather_schedule(grid, b)
+    inputs = {}
+    for pe in range(p):
+        buf = np.zeros(p * b)
+        buf[pe * b : (pe + 1) * b] = data[pe]
+        inputs[pe] = buf
+    sim = simulate(schedule, inputs=inputs, params=params)
+    plan = Plan(schedule=schedule, algorithm="allgather", grid=grid, b=b,
+                predicted_cycles=float(allgather_time(p, b, params)))
+    result = np.stack(
+        [sim.buffers[pe][: p * b].reshape(p, b) for pe in range(p)]
+    )
+    return CollectiveOutcome(
+        result=result,
+        algorithm="allgather",
+        predicted_cycles=plan.predicted_cycles,
+        measured_cycles=sim.cycles,
+        sim=sim,
+        plan=plan,
+    )
+
+
+def reduce_scatter(
+    data: np.ndarray,
+    params: MachineParams = CS2,
+    op: str = "sum",
+) -> CollectiveOutcome:
+    """ReduceScatter ``(P, B)``: PE ``i`` ends with reduced chunk ``i``.
+
+    ``outcome.result`` has shape ``(P, B/P)``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"reduce_scatter takes (P, B) input, got {data.shape}")
+    p, b = data.shape
+    if p < 2:
+        raise ValueError("reduce_scatter needs at least 2 PEs")
+    if b % p != 0:
+        raise ValueError(f"B={b} must be divisible by P={p}")
+    grid = Grid(1, p)
+    schedule = reduce_scatter_schedule(grid, b)
+    inputs = {pe: data[pe].copy() for pe in range(p)}
+    sim = simulate(
+        schedule, inputs=inputs, params=params, combine=_combine_for(op)
+    )
+    chunk = b // p
+    plan = Plan(schedule=schedule, algorithm="reduce_scatter", grid=grid, b=b,
+                predicted_cycles=float(reduce_scatter_time(p, b, params)))
+    result = np.stack(
+        [sim.buffers[pe][pe * chunk : (pe + 1) * chunk] for pe in range(p)]
+    )
+    return CollectiveOutcome(
+        result=result,
+        algorithm="reduce_scatter",
+        predicted_cycles=plan.predicted_cycles,
+        measured_cycles=sim.cycles,
+        sim=sim,
+        plan=plan,
+    )
+
+
+def broadcast(
+    vector: np.ndarray,
+    grid: Grid,
+    params: MachineParams = CS2,
+) -> CollectiveOutcome:
+    """Broadcast ``vector`` from PE (0, 0) to the whole grid (flooding)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 1:
+        raise ValueError(f"broadcast takes a 1D vector, got {vector.shape}")
+    b = len(vector)
+    if grid.rows == 1:
+        schedule = broadcast_row_schedule(grid, b)
+        predicted = float(broadcast_1d_time(grid.cols, b, params))
+    else:
+        schedule = broadcast_2d_schedule(grid, b)
+        predicted = float(broadcast_2d_time(grid.rows, grid.cols, b, params))
+    plan = Plan(
+        schedule=schedule,
+        algorithm="flood",
+        grid=grid,
+        b=b,
+        predicted_cycles=predicted,
+    )
+    sim = simulate(schedule, inputs={0: vector.copy()}, params=params)
+    result = np.stack([sim.buffers[pe][:b] for pe in range(grid.size)])
+    shape = (grid.rows, grid.cols, b) if grid.rows > 1 else (grid.cols, b)
+    return CollectiveOutcome(
+        result=result.reshape(shape),
+        algorithm="flood",
+        predicted_cycles=predicted,
+        measured_cycles=sim.cycles,
+        sim=sim,
+        plan=plan,
+    )

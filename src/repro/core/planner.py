@@ -1,0 +1,119 @@
+"""Model-driven algorithm selection (the regions of Figures 8 and 10).
+
+The planner evaluates every registered algorithm's Equation-(1) prediction
+and picks the fastest — the paper's central methodology: "Analytically, we
+can determine the best choice of algorithm for a given B and P."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from ..model.params import CS2, MachineParams
+from . import registry
+
+__all__ = ["Choice", "best_reduce_1d", "best_allreduce_1d", "best_reduce_2d",
+           "best_allreduce_2d", "rank_algorithms"]
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One planning decision with the full candidate ranking."""
+
+    algorithm: str
+    predicted_cycles: float
+    candidates: Dict[str, float]
+
+    def speedup_over(self, baseline: str) -> float:
+        """Predicted speedup of the choice over ``baseline``."""
+        if baseline not in self.candidates:
+            raise KeyError(f"no candidate {baseline!r}")
+        if self.predicted_cycles == 0:
+            return 1.0
+        return self.candidates[baseline] / self.predicted_cycles
+
+
+def _choose(candidates: Dict[str, float]) -> Choice:
+    best = min(candidates, key=candidates.get)
+    return Choice(
+        algorithm=best,
+        predicted_cycles=candidates[best],
+        candidates=dict(sorted(candidates.items(), key=lambda kv: kv[1])),
+    )
+
+
+def best_reduce_1d(
+    p: int,
+    b: int,
+    params: MachineParams = CS2,
+    include: Iterable[str] | None = None,
+) -> Choice:
+    """Fastest predicted 1D Reduce algorithm for ``(P, B)``."""
+    names = tuple(include) if include else tuple(registry.REDUCE_1D)
+    return _choose(
+        {n: registry.reduce_1d_predict(n, p, b, params) for n in names}
+    )
+
+
+def best_allreduce_1d(
+    p: int,
+    b: int,
+    params: MachineParams = CS2,
+    include: Iterable[str] | None = None,
+) -> Choice:
+    """Fastest predicted 1D AllReduce algorithm (Figure 8's regions)."""
+    names = tuple(include) if include else tuple(registry.ALLREDUCE_1D)
+    return _choose(
+        {n: registry.allreduce_1d_predict(n, p, b, params) for n in names}
+    )
+
+
+def best_reduce_2d(
+    m: int,
+    n: int,
+    b: int,
+    params: MachineParams = CS2,
+    include: Iterable[str] | None = None,
+) -> Choice:
+    """Fastest predicted 2D Reduce algorithm for an ``M x N`` grid."""
+    names = tuple(include) if include else tuple(registry.REDUCE_2D)
+    return _choose(
+        {k: registry.reduce_2d_predict(k, m, n, b, params) for k in names}
+    )
+
+
+def best_allreduce_2d(
+    m: int,
+    n: int,
+    b: int,
+    params: MachineParams = CS2,
+    include: Iterable[str] | None = None,
+) -> Choice:
+    """Fastest predicted 2D AllReduce algorithm (Figure 10's regions)."""
+    names = tuple(include) if include else tuple(registry.ALLREDUCE_2D)
+    return _choose(
+        {k: registry.allreduce_2d_predict(k, m, n, b, params) for k in names}
+    )
+
+
+def rank_algorithms(
+    kind: str,
+    shape: Tuple[int, ...],
+    b: int,
+    params: MachineParams = CS2,
+) -> Choice:
+    """Generic entry point: ``kind`` in {reduce, allreduce} x {1d, 2d}.
+
+    ``shape`` is ``(p,)`` for 1D or ``(m, n)`` for 2D.
+    """
+    table = {
+        ("reduce", 1): best_reduce_1d,
+        ("allreduce", 1): best_allreduce_1d,
+        ("reduce", 2): best_reduce_2d,
+        ("allreduce", 2): best_allreduce_2d,
+    }
+    fn = table.get((kind, len(shape)))
+    if fn is None:
+        raise ValueError(f"unsupported kind={kind!r} with shape {shape}")
+    return fn(*shape, b, params)

@@ -1,0 +1,167 @@
+"""Algorithm registry: names, kinds and model predictors in one place.
+
+The registry ties together the three faces of each algorithm:
+
+* its *model* predictor (:mod:`repro.model.analytic` / :mod:`repro.autogen`),
+* its *schedule builder* (:mod:`repro.collectives`),
+* its provenance (vendor baseline, prior work, or this paper's contribution),
+
+so the planner, the public API and the benchmark harness all agree on
+what exists and what it is called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..autogen.hybrid import autogen_hybrid_time
+from ..model import analytic
+from ..model.params import CS2, MachineParams
+
+__all__ = [
+    "AlgorithmInfo",
+    "REDUCE_1D",
+    "ALLREDUCE_1D",
+    "REDUCE_2D",
+    "ALLREDUCE_2D",
+    "reduce_1d_predict",
+    "allreduce_1d_predict",
+    "reduce_2d_predict",
+    "allreduce_2d_predict",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Metadata for one algorithm entry."""
+
+    name: str
+    kind: str  # "reduce" | "allreduce" | "broadcast"
+    dims: int  # 1 or 2
+    origin: str  # "vendor" | "prior" | "paper" | "classic"
+    description: str
+
+
+REDUCE_1D: Dict[str, AlgorithmInfo] = {
+    "star": AlgorithmInfo(
+        "star", "reduce", 1, "prior",
+        "Every PE sends directly to the root (Rocki et al. stencil); "
+        "minimal depth, maximal contention.",
+    ),
+    "chain": AlgorithmInfo(
+        "chain", "reduce", 1, "vendor",
+        "Pipelined nearest-neighbour chain (the Cerebras SDK collective); "
+        "minimal contention, linear depth.",
+    ),
+    "tree": AlgorithmInfo(
+        "tree", "reduce", 1, "paper",
+        "Binomial-tree halving rounds; logarithmic depth at log-factor "
+        "contention.",
+    ),
+    "two_phase": AlgorithmInfo(
+        "two_phase", "reduce", 1, "paper",
+        "Chains of sqrt(P) behind a chain of group leaders; depth "
+        "2 sqrt(P), contention 2B.",
+    ),
+    "autogen": AlgorithmInfo(
+        "autogen", "reduce", 1, "paper",
+        "DP-optimal pre-order reduction tree generated per (P, B).",
+    ),
+}
+
+ALLREDUCE_1D: Dict[str, AlgorithmInfo] = {
+    **{
+        name: AlgorithmInfo(
+            name, "allreduce", 1, info.origin,
+            f"{info.description} Composed with the flooding broadcast.",
+        )
+        for name, info in REDUCE_1D.items()
+    },
+    "ring": AlgorithmInfo(
+        "ring", "allreduce", 1, "classic",
+        "Reduce-scatter + allgather ring mapped onto the mesh row; "
+        "bandwidth-optimal on classic networks but depth-bound here.",
+    ),
+}
+
+REDUCE_2D: Dict[str, AlgorithmInfo] = {
+    **{
+        name: AlgorithmInfo(
+            name, "reduce", 2, info.origin,
+            f"X-Y composition: rows then column 0 with the 1D "
+            f"{name} pattern.",
+        )
+        for name, info in REDUCE_1D.items()
+    },
+    "snake": AlgorithmInfo(
+        "snake", "reduce", 2, "paper",
+        "Chain pipeline threaded boustrophedon through the whole grid; "
+        "optimal for B >> P.",
+    ),
+}
+
+ALLREDUCE_2D: Dict[str, AlgorithmInfo] = {
+    **{
+        name: AlgorithmInfo(
+            name, "allreduce", 2, info.origin,
+            f"2D Reduce ({info.description.split(';')[0]}) followed by "
+            "the corner 2D broadcast.",
+        )
+        for name, info in REDUCE_2D.items()
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Unified predictors (cycles) used by the planner and the benches.
+# ---------------------------------------------------------------------------
+
+
+def reduce_1d_predict(
+    name: str, p: int, b: int, params: MachineParams = CS2
+) -> float:
+    """Predicted 1D Reduce cycles for algorithm ``name``."""
+    if name == "autogen":
+        return autogen_hybrid_time(p, b, params)
+    fn = analytic.REDUCE_1D_TIMES.get(name)
+    if fn is None:
+        raise ValueError(f"unknown 1D reduce algorithm {name!r}")
+    return float(fn(p, b, params))
+
+
+def allreduce_1d_predict(
+    name: str, p: int, b: int, params: MachineParams = CS2
+) -> float:
+    """Predicted 1D AllReduce cycles for algorithm ``name``."""
+    if name == "ring":
+        return float(analytic.ring_allreduce_time(p, b, params))
+    if name == "butterfly":
+        return float(analytic.butterfly_allreduce_time(p, b, params))
+    reduce_cycles = reduce_1d_predict(name, p, b, params)
+    return float(
+        analytic.reduce_then_broadcast_time(reduce_cycles, p, b, params)
+    )
+
+
+def reduce_2d_predict(
+    name: str, m: int, n: int, b: int, params: MachineParams = CS2
+) -> float:
+    """Predicted 2D Reduce cycles (X-Y composition or Snake)."""
+    if name == "snake":
+        return float(analytic.snake_reduce_time(m, n, b, params))
+    return reduce_1d_predict(name, n, b, params) + reduce_1d_predict(
+        name, m, b, params
+    )
+
+
+def allreduce_2d_predict(
+    name: str, m: int, n: int, b: int, params: MachineParams = CS2
+) -> float:
+    """Predicted 2D AllReduce cycles: 2D Reduce + 2D Broadcast (§7.4)."""
+    reduce_cycles = reduce_2d_predict(name, m, n, b, params)
+    return float(
+        analytic.reduce_then_broadcast_2d_time(reduce_cycles, m, n, b, params)
+    )

@@ -1,0 +1,120 @@
+"""Grid geometry of the wafer: PE coordinates, ports and links.
+
+The wafer is an ``M x N`` grid of PEs (``M`` rows, ``N`` columns).  Each
+PE's router has five bidirectional links: four to the neighbouring routers
+(WEST / EAST / NORTH / SOUTH) and the RAMP link to its own processor
+(Section 2.2, Figure 2).  PEs are identified by flat indices
+``pe = row * N + col`` throughout the fabric package for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["Port", "PORT_NAMES", "opposite_port", "Grid"]
+
+
+class Port:
+    """Router port identifiers (plain ints for hot-loop speed)."""
+
+    RAMP = 0
+    WEST = 1
+    EAST = 2
+    NORTH = 3
+    SOUTH = 4
+
+
+PORT_NAMES = {
+    Port.RAMP: "RAMP",
+    Port.WEST: "WEST",
+    Port.EAST: "EAST",
+    Port.NORTH: "NORTH",
+    Port.SOUTH: "SOUTH",
+}
+
+_OPPOSITE = {
+    Port.WEST: Port.EAST,
+    Port.EAST: Port.WEST,
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+}
+
+
+def opposite_port(port: int) -> int:
+    """The port a wavelet arrives on after crossing a link."""
+    try:
+        return _OPPOSITE[port]
+    except KeyError:
+        raise ValueError(f"port {port} has no opposite (RAMP is local)") from None
+
+
+@dataclass(frozen=True)
+class Grid:
+    """An ``M x N`` grid of PEs with flat indexing ``pe = row * N + col``."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"grid must be at least 1x1, got {self.rows}x{self.cols}")
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def index(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+    def coords(self, pe: int) -> Tuple[int, int]:
+        if not 0 <= pe < self.size:
+            raise IndexError(f"PE {pe} outside grid of {self.size}")
+        return divmod(pe, self.cols)
+
+    def neighbor(self, pe: int, port: int) -> Optional[int]:
+        """Flat index of the neighbour through ``port`` (None at the edge)."""
+        row, col = self.coords(pe)
+        if port == Port.WEST:
+            return pe - 1 if col > 0 else None
+        if port == Port.EAST:
+            return pe + 1 if col < self.cols - 1 else None
+        if port == Port.NORTH:
+            return pe - self.cols if row > 0 else None
+        if port == Port.SOUTH:
+            return pe + self.cols if row < self.rows - 1 else None
+        raise ValueError(f"no neighbour through port {port}")
+
+    def manhattan(self, a: int, b: int) -> int:
+        ra, ca = self.coords(a)
+        rb, cb = self.coords(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def row_pes(self, row: int) -> Iterator[int]:
+        """Flat indices of a row, west to east."""
+        base = row * self.cols
+        return iter(range(base, base + self.cols))
+
+    def col_pes(self, col: int) -> Iterator[int]:
+        """Flat indices of a column, north to south."""
+        return iter(range(col, self.size, self.cols))
+
+    def step_port(self, src: int, dst: int) -> int:
+        """Port to leave ``src`` through to reach an adjacent ``dst``."""
+        if dst == src - 1 and src % self.cols != 0:
+            return Port.WEST
+        if dst == src + 1 and dst % self.cols != 0:
+            return Port.EAST
+        if dst == src - self.cols:
+            return Port.NORTH
+        if dst == src + self.cols:
+            return Port.SOUTH
+        raise ValueError(f"PEs {src} and {dst} are not adjacent")
+
+
+def row_grid(p: int) -> Grid:
+    """Convenience 1-row grid for the 1D collectives (``P x 1`` rows in the
+    paper's notation correspond to a single row of ``P`` PEs here)."""
+    return Grid(rows=1, cols=p)

@@ -1,0 +1,384 @@
+"""Schedule IR: per-PE router configurations and processor programs.
+
+A :class:`Schedule` is the hardware-neutral description of one collective:
+for every PE a list of router rules per color (mirroring the CS-2's stored
+routing configurations that advance as streams complete, Section 2.2) and
+an ordered list of processor operations.  All collective builders in
+:mod:`repro.collectives` lower to this IR; the cycle simulator executes it
+and the pseudo-CSL emitter prints it.
+
+Router-rule advancement is modelled with wavelet *counts* rather than
+explicit control wavelets: a rule forwards exactly ``count`` wavelets and
+then the next rule becomes active.  On the real device this advancement is
+triggered by control wavelets or by counted DSDs; the timing is identical
+because a control wavelet rides the tail of the stream it terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .geometry import PORT_NAMES, Grid, Port
+
+__all__ = [
+    "RouterRule",
+    "Recv",
+    "Send",
+    "RecvReduceSend",
+    "SendRecv",
+    "SendCtrl",
+    "Delay",
+    "SampleClock",
+    "PEProgram",
+    "Schedule",
+    "merge_sequential",
+    "merge_parallel",
+]
+
+
+@dataclass
+class RouterRule:
+    """One routing configuration for one color.
+
+    While active, the router accepts wavelets of this color from ``accept``
+    only and forwards each to every port in ``forward`` (multicast
+    duplication is free, Section 2.2).  After ``count`` wavelets the next
+    rule in the color's list activates; ``count=None`` keeps the rule
+    active forever (used by static patterns like broadcast).
+    """
+
+    accept: int
+    forward: Tuple[int, ...]
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.accept not in PORT_NAMES:
+            raise ValueError(f"bad accept port {self.accept}")
+        if not self.forward:
+            raise ValueError("rule must forward somewhere")
+        for port in self.forward:
+            if port not in PORT_NAMES:
+                raise ValueError(f"bad forward port {port}")
+        if self.accept in self.forward:
+            raise ValueError("rule forwards back to its accept port")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"rule count must be >= 1, got {self.count}")
+
+
+@dataclass
+class Recv:
+    """Consume wavelets of ``color`` from the ramp into the local buffer.
+
+    Receives ``messages`` back-to-back messages of ``length`` wavelets
+    each; wavelet ``j`` of a message lands at ``offset + j``.  With
+    ``combine=True`` it is added (reduction), otherwise stored (broadcast /
+    allgather).  One wavelet per cycle.
+    """
+
+    color: int
+    length: int
+    offset: int = 0
+    combine: bool = False
+    messages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.messages < 1 or self.offset < 0:
+            raise ValueError(f"bad Recv parameters: {self!r}")
+
+    @property
+    def total_wavelets(self) -> int:
+        return self.length * self.messages
+
+
+@dataclass
+class Send:
+    """Emit ``length`` wavelets of ``color`` from the local buffer.
+
+    Element ``j`` carries ``buffer[offset + j]``.  One wavelet per cycle;
+    the wavelet enters the router ``T_R + 1`` cycles after the send issues.
+    """
+
+    color: int
+    length: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.offset < 0:
+            raise ValueError(f"bad Send parameters: {self!r}")
+
+    @property
+    def total_wavelets(self) -> int:
+        return self.length
+
+
+@dataclass
+class RecvReduceSend:
+    """Streaming combine: receive, add, and re-emit element by element.
+
+    For each of ``length`` wavelets arriving on ``in_color``: combine into
+    ``buffer[offset + j]`` and emit the combined value on ``out_color`` in
+    the same cycle.  This is the pipelining primitive behind the Chain
+    pattern and the last-child stream of every reduction-tree vertex.
+    """
+
+    in_color: int
+    out_color: int
+    length: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.offset < 0:
+            raise ValueError(f"bad RecvReduceSend parameters: {self!r}")
+
+    @property
+    def total_wavelets(self) -> int:
+        return self.length
+
+
+@dataclass
+class SendRecv:
+    """Full-duplex round: send one chunk while receiving another.
+
+    Each cycle the PE may emit one wavelet of
+    ``buffer[send_offset : send_offset + length]`` on ``send_color`` *and*
+    consume one wavelet on ``recv_color`` into
+    ``buffer[recv_offset : recv_offset + length]`` (combining when
+    ``combine``).  The op completes when both directions have moved
+    ``length`` wavelets.  This models the device's independent fabric DSD
+    engines and is the primitive behind the Ring AllReduce rounds
+    (Section 6.2), whose cost per round is one chunk, not two.
+    """
+
+    send_color: int
+    recv_color: int
+    length: int
+    send_offset: int = 0
+    recv_offset: int = 0
+    combine: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.send_offset < 0 or self.recv_offset < 0:
+            raise ValueError(f"bad SendRecv parameters: {self!r}")
+
+    @property
+    def total_wavelets(self) -> int:
+        return self.length
+
+
+@dataclass
+class SendCtrl:
+    """Emit one *control wavelet* on ``color``.
+
+    Control wavelets are the device's native configuration-advance
+    mechanism (Section 2.2): every router the wavelet passes advances the
+    active configuration of that color after forwarding it (it is not
+    delivered up any ramp).  Schedules built with
+    ``use_control_wavelets=True`` terminate each stream with one of these
+    instead of relying on counted rules, paying the wavelet of overhead
+    the real implementation pays.
+    """
+
+    color: int
+
+
+@dataclass
+class Delay:
+    """Busy-wait for ``cycles`` cycles (calibration writes, §8.3)."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"negative delay: {self.cycles}")
+
+
+@dataclass
+class SampleClock:
+    """Record the PE's local clock into the simulation trace under ``tag``."""
+
+    tag: str
+
+
+Op = object  # informal union of the op dataclasses above
+
+
+@dataclass
+class PEProgram:
+    """Everything one PE contributes to a schedule."""
+
+    router: Dict[int, List[RouterRule]] = field(default_factory=dict)
+    ops: List[Op] = field(default_factory=list)
+
+    def is_idle(self) -> bool:
+        return not self.router and not self.ops
+
+
+@dataclass
+class Schedule:
+    """A complete collective schedule for a grid of PEs.
+
+    ``programs`` maps flat PE index to :class:`PEProgram` (PEs not present
+    are idle).  ``buffer_size`` is the per-PE local buffer length in
+    elements; ``name`` identifies the algorithm for reports.
+    """
+
+    grid: Grid
+    programs: Dict[int, PEProgram] = field(default_factory=dict)
+    buffer_size: int = 0
+    name: str = "unnamed"
+
+    def program(self, pe: int) -> PEProgram:
+        """The program of ``pe``, creating an empty one on first access."""
+        if not 0 <= pe < self.grid.size:
+            raise IndexError(f"PE {pe} outside grid of {self.grid.size}")
+        prog = self.programs.get(pe)
+        if prog is None:
+            prog = PEProgram()
+            self.programs[pe] = prog
+        return prog
+
+    def colors_used(self) -> List[int]:
+        colors = set()
+        for prog in self.programs.values():
+            colors.update(prog.router.keys())
+            for op in prog.ops:
+                for attr in ("color", "in_color", "out_color"):
+                    c = getattr(op, attr, None)
+                    if c is not None:
+                        colors.add(c)
+        return sorted(colors)
+
+    def validate(self) -> None:
+        """Cheap structural checks shared by all builders.
+
+        * every referenced color has a router rule wherever the processor
+          sends or receives on it;
+        * counted rules and processor ops are wavelet-conserving per PE:
+          the ramp traffic implied by the ops matches the RAMP-side rule
+          counts (finite rules only).
+        """
+        for pe, prog in self.programs.items():
+            ramp_in: Dict[int, int] = {}  # color -> wavelets PE sends
+            ramp_out: Dict[int, int] = {}  # color -> wavelets PE receives
+            for op in prog.ops:
+                if isinstance(op, Recv):
+                    ramp_out[op.color] = ramp_out.get(op.color, 0) + op.total_wavelets
+                elif isinstance(op, Send):
+                    ramp_in[op.color] = ramp_in.get(op.color, 0) + op.total_wavelets
+                elif isinstance(op, RecvReduceSend):
+                    ramp_out[op.in_color] = (
+                        ramp_out.get(op.in_color, 0) + op.total_wavelets
+                    )
+                    ramp_in[op.out_color] = (
+                        ramp_in.get(op.out_color, 0) + op.total_wavelets
+                    )
+                elif isinstance(op, SendRecv):
+                    ramp_out[op.recv_color] = (
+                        ramp_out.get(op.recv_color, 0) + op.total_wavelets
+                    )
+                    ramp_in[op.send_color] = (
+                        ramp_in.get(op.send_color, 0) + op.total_wavelets
+                    )
+            for color, needed in ramp_in.items():
+                rules = prog.router.get(color, [])
+                capacity = 0
+                unbounded = False
+                for rule in rules:
+                    if rule.accept == Port.RAMP:
+                        if rule.count is None:
+                            unbounded = True
+                        else:
+                            capacity += rule.count
+                if not unbounded and capacity < needed:
+                    raise ValueError(
+                        f"PE {pe}: sends {needed} wavelets on color {color} "
+                        f"but RAMP-accepting rules only pass {capacity}"
+                    )
+            for color, needed in ramp_out.items():
+                rules = prog.router.get(color, [])
+                capacity = 0
+                unbounded = False
+                for rule in rules:
+                    if Port.RAMP in rule.forward:
+                        if rule.count is None:
+                            unbounded = True
+                        else:
+                            capacity += rule.count
+                if not unbounded and capacity < needed:
+                    raise ValueError(
+                        f"PE {pe}: receives {needed} wavelets on color {color} "
+                        f"but RAMP-forwarding rules only deliver {capacity}"
+                    )
+
+    def stats(self) -> Dict[str, int]:
+        """Schedule-level counters used in reports and tests."""
+        n_rules = sum(
+            len(rules)
+            for prog in self.programs.values()
+            for rules in prog.router.values()
+        )
+        n_ops = sum(len(prog.ops) for prog in self.programs.values())
+        return {
+            "pes": len(self.programs),
+            "rules": n_rules,
+            "ops": n_ops,
+            "colors": len(self.colors_used()),
+        }
+
+
+def merge_parallel(schedules: Sequence["Schedule"], name: str) -> Schedule:
+    """Union of schedules running concurrently on disjoint PE sets.
+
+    Used to combine the per-row phases of the X-Y collectives: each row's
+    1D schedule touches only its own PEs, so the union is conflict-free by
+    construction (asserted here).
+    """
+    if not schedules:
+        raise ValueError("nothing to merge")
+    grid = schedules[0].grid
+    merged = Schedule(
+        grid=grid,
+        buffer_size=max(s.buffer_size for s in schedules),
+        name=name,
+    )
+    for sched in schedules:
+        if sched.grid != grid:
+            raise ValueError("cannot merge schedules on different grids")
+        for pe, prog in sched.programs.items():
+            if pe in merged.programs:
+                raise ValueError(
+                    f"parallel schedules overlap on PE {pe}; "
+                    "use merge_sequential for phased composition"
+                )
+            merged.programs[pe] = prog
+    return merged
+
+
+def merge_sequential(first: Schedule, second: Schedule, name: str) -> Schedule:
+    """Concatenate two schedules phase-wise on the same grid.
+
+    The phases must use disjoint colors; each PE's ops run first-phase then
+    second-phase, and the router rule lists are concatenated per color.
+    Dataflow (counted rules + op order) provides the inter-phase
+    synchronization, exactly as on the device — there is no global barrier.
+    """
+    if first.grid != second.grid:
+        raise ValueError("cannot merge schedules on different grids")
+    overlap = set(first.colors_used()) & set(second.colors_used())
+    if overlap:
+        raise ValueError(f"phases share colors {sorted(overlap)}")
+    merged = Schedule(
+        grid=first.grid,
+        buffer_size=max(first.buffer_size, second.buffer_size),
+        name=name,
+    )
+    for pe in set(first.programs) | set(second.programs):
+        prog = merged.program(pe)
+        for source in (first.programs.get(pe), second.programs.get(pe)):
+            if source is None:
+                continue
+            for color, rules in source.router.items():
+                prog.router.setdefault(color, []).extend(rules)
+            prog.ops.extend(source.ops)
+    return merged

@@ -1,0 +1,87 @@
+"""Spatial cost terms and their synthesis into a cycle estimate.
+
+Table 1 of the paper defines five cost terms for a communication pattern:
+
+====  =========================================================
+``E``  Energy — total number of wavelet hops routed.
+``L``  Distance — largest number of hops any wavelet travels.
+``D``  Depth — longest chain of PEs with data-dependent operations.
+``C``  Contention — largest number of wavelets a single PE sends/receives.
+``N``  Number of links being used overall.
+====  =========================================================
+
+Equation (1) synthesizes them into a cycle estimate:
+
+.. math::
+
+    T = \\max\\left(C, \\frac{E}{N} + L\\right) + (2 T_R + 1) \\cdot D
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import CS2, MachineParams
+
+
+@dataclass(frozen=True)
+class CostTerms:
+    """The five spatial cost terms of one communication pattern.
+
+    All terms are measured in wavelets / hops / PEs as defined in Table 1.
+    ``energy`` and ``contention`` scale with the vector length; ``depth``
+    and ``distance`` do not.
+    """
+
+    energy: float
+    distance: float
+    depth: float
+    contention: float
+    links: float
+
+    def __post_init__(self) -> None:
+        if self.links <= 0:
+            raise ValueError(f"links must be positive, got {self.links}")
+        for name in ("energy", "distance", "depth", "contention"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def synthesize(self, params: MachineParams = CS2) -> float:
+        """Cycle estimate per Equation (1) of the paper."""
+        bandwidth_term = self.energy / self.links + self.distance
+        return (
+            max(self.contention, bandwidth_term)
+            + params.depth_cycles * self.depth
+        )
+
+    def dominant_term(self, params: MachineParams = CS2) -> str:
+        """Name of the cost term that dominates the estimate.
+
+        One of ``"contention"``, ``"bandwidth"`` (energy/links + distance)
+        or ``"depth"``.  Useful for explaining *why* an algorithm wins or
+        loses in a regime, mirroring the paper's discussion in Sections 5–8.
+        """
+        bandwidth_term = self.energy / self.links + self.distance
+        depth_term = params.depth_cycles * self.depth
+        comm = max(self.contention, bandwidth_term)
+        if depth_term > comm:
+            return "depth"
+        if self.contention >= bandwidth_term:
+            return "contention"
+        return "bandwidth"
+
+    def scaled_by_vector(self, b: int) -> "CostTerms":
+        """Cost terms for a vector of ``b`` wavelets given per-scalar terms.
+
+        Energy and contention grow linearly with the vector length; depth,
+        distance and link usage are properties of the pattern itself.
+        """
+        if b < 1:
+            raise ValueError(f"vector length must be >= 1, got {b}")
+        return CostTerms(
+            energy=self.energy * b,
+            distance=self.distance,
+            depth=self.depth,
+            contention=self.contention * b,
+            links=self.links,
+        )

@@ -1,0 +1,75 @@
+"""Machine parameters of the wafer-scale engine.
+
+The paper parameterizes the spatial-computer model to the Cerebras CS-2
+(WSE-2).  The values here follow Section 2.2 and Section 8:
+
+* ``ramp_latency`` (:math:`T_R`): cycles between a wavelet entering a router
+  and the processor issuing an instruction on it (and symmetrically between
+  a send completing and the wavelet entering the router).  The paper
+  measures :math:`T_R = 2` by inspection of the cycle-accurate simulator.
+* ``link_bandwidth``: one 32-bit wavelet per link direction per cycle.
+* ``clock_hz``: 850 MHz, used only to convert cycles to microseconds for
+  plots that mirror the paper's figures.
+* ``wavelet_bytes``: a wavelet is a 32-bit packet; all benchmark axes in
+  bytes divide by this to obtain the vector length ``B`` in wavelets.
+* ``sram_bytes``: 48 KB of per-PE SRAM; used to mark the "1/3 max PE
+  memory" guideline from Figures 11 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Immutable description of the simulated wafer-scale machine."""
+
+    ramp_latency: int = 2
+    link_bandwidth: int = 1
+    clock_hz: float = 850e6
+    wavelet_bytes: int = 4
+    sram_bytes: int = 48 * 1024
+    #: Maximum number of colors available for routing (CS-2 has 24).
+    num_colors: int = 24
+    #: Number of routing configurations a router stores per color.
+    configs_per_color: int = 4
+
+    @property
+    def depth_cycles(self) -> int:
+        """Cycles charged per unit of depth: ``2*T_R + 1`` (Eq. 1).
+
+        A depth step receives a wavelet (ramp down, :math:`T_R`), spends one
+        cycle storing/combining it, and sends the result (ramp up,
+        :math:`T_R`).
+        """
+        return 2 * self.ramp_latency + 1
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds at the machine clock."""
+        return cycles / self.clock_hz * 1e6
+
+    def us_to_cycles(self, us: float) -> float:
+        """Convert microseconds to cycles at the machine clock."""
+        return us * 1e-6 * self.clock_hz
+
+    def bytes_to_wavelets(self, nbytes: int) -> int:
+        """Vector length in wavelets for a payload of ``nbytes`` bytes.
+
+        Rounds up: a trailing partial wavelet still occupies a full packet.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative payload size: {nbytes}")
+        return max(1, -(-nbytes // self.wavelet_bytes))
+
+    def with_ramp_latency(self, ramp_latency: int) -> "MachineParams":
+        """Copy of the parameters with a different :math:`T_R`.
+
+        Used by the T_R ablation bench (the paper argues any value other
+        than 2 degrades prediction quality).
+        """
+        return replace(self, ramp_latency=ramp_latency)
+
+
+#: Default CS-2 parameterization used throughout the library.
+CS2 = MachineParams()

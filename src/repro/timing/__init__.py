@@ -1,0 +1,21 @@
+"""Measurement methodology of Section 8.3: clock skew and alpha calibration."""
+
+from .calibration import (
+    CalibrationResult,
+    MeasuredRun,
+    build_instrumented_schedule,
+    calibrate,
+    measure_collective,
+    run_instrumented,
+)
+from .clock import ClockModel
+
+__all__ = [
+    "CalibrationResult",
+    "MeasuredRun",
+    "build_instrumented_schedule",
+    "calibrate",
+    "measure_collective",
+    "run_instrumented",
+    "ClockModel",
+]

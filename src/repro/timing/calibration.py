@@ -1,0 +1,287 @@
+"""The wait-parameter calibration of Section 8.3.
+
+To time Reduce/AllReduce, every PE must *start* at the same moment despite
+independent local clocks.  The paper's procedure:
+
+1. PE (0, 0) broadcasts a trigger; PE (i, j) samples its local reference
+   clock ``T_ref(i, j)`` on arrival.
+2. Each PE performs ``alpha * (M + N - i - j)`` writes — farther PEs saw
+   the trigger later, so they wait less.
+3. Each PE samples its start clock ``T_S``, runs the collective, and
+   samples its end clock ``T_E``.
+4. Samples are de-skewed with the reference sample and the known trigger
+   propagation delay ``i + j + 2``; ``alpha`` is adjusted and the
+   procedure repeated until the calibrated start spread is small enough.
+5. The measurement is ``max T_E' - min T_S'``.
+
+In an ideal system ``alpha = 1`` already aligns the starts; thermal no-op
+insertion makes writes slower than nominal, which the calibration loop
+absorbs into ``alpha`` (each iteration fits the residual slope of start
+time against write count and rescales).
+
+Sign convention: we de-skew with ``T' = (T - T_ref) + (i + j + 2)`` so
+that ``T'`` estimates time since the trigger *left the root*; the paper's
+formula subtracts the propagation term from the local difference, which
+measures the same spread under its clock-relation convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..fabric.geometry import Grid, Port
+from ..fabric.ir import (
+    Delay,
+    Recv,
+    RouterRule,
+    SampleClock,
+    Schedule,
+    Send,
+)
+from ..fabric.simulator import simulate
+from ..model.params import CS2, MachineParams
+from .clock import ClockModel
+
+__all__ = [
+    "CalibrationResult",
+    "MeasuredRun",
+    "build_instrumented_schedule",
+    "run_instrumented",
+    "calibrate",
+    "measure_collective",
+]
+
+#: Color reserved for the trigger broadcast (outside the collectives' 0-5).
+TRIGGER_COLOR = 14
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Clock samples of one instrumented execution."""
+
+    alpha: float
+    calibrated_start: Dict[int, float]
+    calibrated_end: Dict[int, float]
+    #: ground-truth global start cycles (simulator-only knowledge).
+    true_start: Dict[int, int]
+
+    @property
+    def start_spread(self) -> float:
+        vals = list(self.calibrated_start.values())
+        return max(vals) - min(vals)
+
+    @property
+    def true_start_spread(self) -> int:
+        vals = list(self.true_start.values())
+        return max(vals) - min(vals)
+
+    @property
+    def runtime(self) -> float:
+        """The paper's measurement: ``max T_E' - min T_S'``."""
+        return max(self.calibrated_end.values()) - min(
+            self.calibrated_start.values()
+        )
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of the iterative alpha adjustment."""
+
+    alpha: float
+    start_spread: float
+    iterations: int
+    history: List[Tuple[float, float]] = field(default_factory=list)
+    final_run: MeasuredRun | None = None
+
+
+def _writes_for(grid: Grid, pe: int) -> int:
+    i, j = grid.coords(pe)
+    return grid.rows + grid.cols - i - j
+
+
+def build_instrumented_schedule(
+    grid: Grid,
+    collective: Schedule,
+    alpha: float,
+    clock: ClockModel,
+    trigger_color: int = TRIGGER_COLOR,
+    params: MachineParams = CS2,
+) -> Schedule:
+    """Wrap ``collective`` with the trigger/wait/sample instrumentation.
+
+    Prepends to every PE: receive the 1-wavelet trigger flood, sample the
+    reference clock, busy-wait the alpha-scaled writes (with that PE's
+    thermal noise applied), sample the start clock.  Appends: sample the
+    end clock.  The trigger uses its own color so the collective's routing
+    is untouched.
+    """
+    if trigger_color in collective.colors_used():
+        raise ValueError(
+            f"trigger color {trigger_color} collides with the collective"
+        )
+    out = Schedule(
+        grid=grid,
+        buffer_size=max(collective.buffer_size, 1),
+        name=f"instrumented-{collective.name}",
+    )
+    root = grid.index(0, 0)
+    for pe in range(grid.size):
+        prog = out.program(pe)
+        base = collective.programs.get(pe)
+        # Trigger flood rules: east along row 0 + south multicast, as in
+        # the 2D broadcast (rows==1 degenerates to the row flood).
+        row, col = grid.coords(pe)
+        forward: List[int] = []
+        if row == 0:
+            accept = Port.RAMP if pe == root else Port.WEST
+            if col + 1 < grid.cols:
+                forward.append(Port.EAST)
+            if grid.rows > 1:
+                forward.append(Port.SOUTH)
+        else:
+            accept = Port.NORTH
+            if row + 1 < grid.rows:
+                forward.append(Port.SOUTH)
+        if pe != root:
+            forward.append(Port.RAMP)
+        prog.router[trigger_color] = [
+            RouterRule(accept=accept, forward=tuple(forward), count=1)
+        ]
+        # Instrumentation ops.
+        if pe == root:
+            prog.ops.append(Send(color=trigger_color, length=1, offset=0))
+            # The root cannot observe its own trigger traversing the ramp;
+            # it compensates with the known constant 2 T_R + 1 so that its
+            # reference event lines up with the neighbours' arrival times.
+            prog.ops.append(Delay(cycles=2 * params.ramp_latency + 1))
+        else:
+            prog.ops.append(
+                Recv(color=trigger_color, length=1, offset=0, combine=False)
+            )
+        prog.ops.append(SampleClock(tag="ref"))
+        writes = _writes_for(grid, pe)
+        physical = clock.write_cycles(pe, int(round(alpha * writes)))
+        if physical > 0:
+            prog.ops.append(Delay(cycles=physical))
+        prog.ops.append(SampleClock(tag="start"))
+        if base is not None:
+            for color, rules in base.router.items():
+                prog.router.setdefault(color, []).extend(rules)
+            prog.ops.extend(base.ops)
+        prog.ops.append(SampleClock(tag="end"))
+    return out
+
+
+def run_instrumented(
+    grid: Grid,
+    collective: Schedule,
+    alpha: float,
+    clock: ClockModel,
+    inputs: Dict[int, np.ndarray] | None = None,
+    params: MachineParams = CS2,
+) -> MeasuredRun:
+    """Execute one instrumented run and de-skew the clock samples."""
+    sched = build_instrumented_schedule(
+        grid, collective, alpha, clock, params=params
+    )
+    # The trigger payload: buffer[0] of the root (any value).
+    sim = simulate(
+        sched,
+        inputs=inputs,
+        params=params,
+        clock_offsets=clock.offsets,
+    )
+    ref = sim.clock_samples["ref"]
+    start = sim.clock_samples["start"]
+    end = sim.clock_samples["end"]
+    cal_start: Dict[int, float] = {}
+    cal_end: Dict[int, float] = {}
+    true_start: Dict[int, int] = {}
+    for pe in ref:
+        i, j = grid.coords(pe)
+        prop = i + j + 2
+        cal_start[pe] = (start[pe] - ref[pe]) + prop
+        cal_end[pe] = (end[pe] - ref[pe]) + prop
+        true_start[pe] = start[pe] - clock.offsets.get(pe, 0)
+    return MeasuredRun(
+        alpha=alpha,
+        calibrated_start=cal_start,
+        calibrated_end=cal_end,
+        true_start=true_start,
+    )
+
+
+def calibrate(
+    grid: Grid,
+    collective: Schedule,
+    clock: ClockModel,
+    inputs: Dict[int, np.ndarray] | None = None,
+    params: MachineParams = CS2,
+    target_spread: float = 60.0,
+    max_iterations: int = 8,
+) -> CalibrationResult:
+    """Iteratively adjust the wait parameter until starts align.
+
+    Each round fits the calibrated start times against the per-PE write
+    counts; a non-zero slope means the effective write cost differs from
+    the assumed one, and ``alpha`` is rescaled by the fitted factor
+    (``alpha <- alpha / (slope + 1)``).  Starts from the ideal-system
+    value ``alpha = 1``.
+    """
+    alpha = 1.0
+    history: List[Tuple[float, float]] = []
+    best: MeasuredRun | None = None
+    for iteration in range(1, max_iterations + 1):
+        run = run_instrumented(grid, collective, alpha, clock, inputs, params)
+        spread = run.start_spread
+        history.append((alpha, spread))
+        if best is None or spread < best.start_spread:
+            best = run
+        if spread <= target_spread:
+            return CalibrationResult(
+                alpha=alpha,
+                start_spread=spread,
+                iterations=iteration,
+                history=history,
+                final_run=run,
+            )
+        writes = np.array([_writes_for(grid, pe) for pe in run.calibrated_start])
+        starts = np.array(
+            [run.calibrated_start[pe] for pe in run.calibrated_start]
+        )
+        denom = float(((writes - writes.mean()) ** 2).sum())
+        if denom == 0:
+            break
+        slope = float(
+            ((writes - writes.mean()) * (starts - starts.mean())).sum()
+        ) / denom
+        # cal_start ~ const + (alpha*nu - 1) * writes, so the fitted slope
+        # is alpha*nu - 1 and alpha / (slope + 1) = 1 / nu, the fixed point.
+        alpha = alpha / (slope + 1.0) if slope > -0.9 else alpha * 2.0
+    assert best is not None
+    return CalibrationResult(
+        alpha=best.alpha,
+        start_spread=best.start_spread,
+        iterations=max_iterations,
+        history=history,
+        final_run=best,
+    )
+
+
+def measure_collective(
+    grid: Grid,
+    collective: Schedule,
+    clock: ClockModel,
+    inputs: Dict[int, np.ndarray] | None = None,
+    params: MachineParams = CS2,
+    target_spread: float = 60.0,
+) -> Tuple[float, CalibrationResult]:
+    """Calibrate, then report the paper's runtime measurement in cycles."""
+    cal = calibrate(
+        grid, collective, clock, inputs, params, target_spread=target_spread
+    )
+    assert cal.final_run is not None
+    return cal.final_run.runtime, cal

@@ -1,0 +1,66 @@
+"""Per-PE clock models for the measurement methodology (Section 8.3).
+
+The CS-2's cores "are truly independent cores, with independent clocks",
+and the machine inserts no-ops to regulate thermal stress, so wall-clock
+measurements need both de-skewing and a calibrated wait.  We model:
+
+* a per-PE *clock offset*: the local cycle counter reads
+  ``global + offset`` (unknown to the measurement code);
+* a per-PE *write-noise factor*: a nominal 1-cycle write takes
+  ``noise_factor`` cycles on average (thermal no-op insertion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..fabric.geometry import Grid
+
+__all__ = ["ClockModel"]
+
+
+@dataclass
+class ClockModel:
+    """Deterministic clock skew + thermal write noise for a grid of PEs."""
+
+    grid: Grid
+    #: standard deviation of the (integer) per-PE clock offsets, in cycles.
+    offset_std: float = 200.0
+    #: mean multiplicative write slowdown from thermal no-ops (>= 1).
+    thermal_mean: float = 1.10
+    #: PE-to-PE spread of the thermal factor.
+    thermal_std: float = 0.02
+    seed: int = 2024
+
+    offsets: Dict[int, int] = field(init=False)
+    noise: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.thermal_mean < 1.0:
+            raise ValueError("thermal factor cannot speed writes up")
+        rng = np.random.default_rng(self.seed)
+        raw = rng.normal(0.0, self.offset_std, size=self.grid.size)
+        self.offsets = {pe: int(round(raw[pe])) for pe in range(self.grid.size)}
+        self.noise = np.maximum(
+            1.0,
+            rng.normal(self.thermal_mean, self.thermal_std, size=self.grid.size),
+        )
+
+    def write_cycles(self, pe: int, writes: int) -> int:
+        """Physical cycles to execute ``writes`` nominal 1-cycle writes."""
+        if writes < 0:
+            raise ValueError(f"negative write count: {writes}")
+        return int(round(writes * float(self.noise[pe])))
+
+    def ideal(self) -> "ClockModel":
+        """A noiseless, skewless copy (the paper's 'ideal system')."""
+        return ClockModel(
+            grid=self.grid,
+            offset_std=0.0,
+            thermal_mean=1.0,
+            thermal_std=0.0,
+            seed=self.seed,
+        )

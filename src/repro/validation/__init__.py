@@ -1,0 +1,15 @@
+"""Numerical verification helpers for simulated collectives."""
+
+from .verify import (
+    random_inputs,
+    verify_allreduce,
+    verify_broadcast,
+    verify_reduce,
+)
+
+__all__ = [
+    "random_inputs",
+    "verify_allreduce",
+    "verify_broadcast",
+    "verify_reduce",
+]

@@ -1,0 +1,108 @@
+"""Numerical verification of simulated collectives against NumPy.
+
+These helpers are used by the test suite, the examples and the benchmark
+harness to assert that every schedule computes exactly the collective it
+claims (up to floating-point reassociation, since different trees sum in
+different orders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..fabric.ir import Schedule
+from ..fabric.simulator import SimResult, simulate
+from ..model.params import CS2, MachineParams
+
+__all__ = [
+    "random_inputs",
+    "verify_reduce",
+    "verify_allreduce",
+    "verify_broadcast",
+]
+
+#: Reassociation tolerance for fp64 sums across different tree shapes.
+RTOL = 1e-9
+ATOL = 1e-9
+
+
+def random_inputs(
+    n_pes: int, b: int, seed: int = 0, scale: float = 1.0
+) -> Dict[int, np.ndarray]:
+    """Reproducible per-PE input vectors."""
+    rng = np.random.default_rng(seed)
+    return {pe: scale * rng.normal(size=b) for pe in range(n_pes)}
+
+
+def _run(
+    schedule: Schedule,
+    inputs: Dict[int, np.ndarray],
+    params: MachineParams,
+    **kwargs,
+) -> SimResult:
+    return simulate(
+        schedule,
+        inputs={pe: vec.copy() for pe, vec in inputs.items()},
+        params=params,
+        **kwargs,
+    )
+
+
+def verify_reduce(
+    schedule: Schedule,
+    inputs: Dict[int, np.ndarray],
+    b: int,
+    root: int = 0,
+    params: MachineParams = CS2,
+    **kwargs,
+) -> SimResult:
+    """Run ``schedule`` and assert the root holds the elementwise sum."""
+    expected = np.sum([inputs[pe][:b] for pe in inputs], axis=0)
+    sim = _run(schedule, inputs, params, **kwargs)
+    got = sim.buffers[root][:b]
+    if not np.allclose(got, expected, rtol=RTOL, atol=ATOL):
+        worst = np.abs(got - expected).max()
+        raise AssertionError(
+            f"{schedule.name}: root result off by {worst:.3e} "
+            f"(B={b}, PEs={len(inputs)})"
+        )
+    return sim
+
+
+def verify_allreduce(
+    schedule: Schedule,
+    inputs: Dict[int, np.ndarray],
+    b: int,
+    params: MachineParams = CS2,
+    **kwargs,
+) -> SimResult:
+    """Run ``schedule`` and assert every participating PE holds the sum."""
+    expected = np.sum([inputs[pe][:b] for pe in inputs], axis=0)
+    sim = _run(schedule, inputs, params, **kwargs)
+    for pe in inputs:
+        got = sim.buffers[pe][:b]
+        if not np.allclose(got, expected, rtol=RTOL, atol=ATOL):
+            worst = np.abs(got - expected).max()
+            raise AssertionError(
+                f"{schedule.name}: PE {pe} result off by {worst:.3e}"
+            )
+    return sim
+
+
+def verify_broadcast(
+    schedule: Schedule,
+    vector: np.ndarray,
+    root: int = 0,
+    params: MachineParams = CS2,
+    **kwargs,
+) -> SimResult:
+    """Run a broadcast and assert every participating PE got the vector."""
+    b = len(vector)
+    sim = _run(schedule, {root: np.asarray(vector, dtype=np.float64)}, params, **kwargs)
+    for pe in schedule.programs:
+        got = sim.buffers[pe][:b]
+        if not np.allclose(got, vector, rtol=RTOL, atol=ATOL):
+            raise AssertionError(f"{schedule.name}: PE {pe} missed the broadcast")
+    return sim

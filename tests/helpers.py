@@ -1,0 +1,15 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pe_inputs(p: int, b: int, seed: int = 0) -> dict[int, np.ndarray]:
+    """Deterministic random input vectors for ``p`` PEs."""
+    gen = np.random.default_rng(seed)
+    return {pe: gen.normal(size=b) for pe in range(p)}
+
+
+def expected_sum(inputs: dict[int, np.ndarray], b: int) -> np.ndarray:
+    return np.sum([v[:b] for v in inputs.values()], axis=0)

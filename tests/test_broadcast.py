@@ -1,0 +1,117 @@
+"""Integration tests for 1D and 2D flooding broadcasts (Section 4, §7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    broadcast_2d_schedule,
+    broadcast_lane_schedule,
+    broadcast_row_schedule,
+    snake_lane,
+)
+from repro.fabric import Grid, row_grid, simulate
+from repro.model import analytic
+
+
+class TestRowBroadcast:
+    @pytest.mark.parametrize("p", [2, 3, 8, 17, 64])
+    def test_everyone_receives(self, p):
+        b = 10
+        grid = row_grid(p)
+        vec = np.random.default_rng(p).normal(size=b)
+        sim = simulate(broadcast_row_schedule(grid, b), inputs={0: vec.copy()})
+        for pe in range(p):
+            assert np.allclose(sim.buffers[pe][:b], vec)
+
+    def test_single_pe_noop(self):
+        grid = row_grid(1)
+        sched = broadcast_row_schedule(grid, 4)
+        sim = simulate(sched, inputs={0: np.ones(4)})
+        assert sim.cycles == 0
+
+    def test_cycles_match_lemma_41(self):
+        for p, b in [(8, 16), (32, 256), (64, 4)]:
+            grid = row_grid(p)
+            sim = simulate(
+                broadcast_row_schedule(grid, b),
+                inputs={0: np.ones(b)},
+            )
+            predicted = analytic.broadcast_1d_time(p, b)
+            assert abs(sim.cycles - predicted) <= 3, (p, b)
+
+    def test_energy_matches_lemma(self):
+        p, b = 16, 8
+        grid = row_grid(p)
+        sim = simulate(broadcast_row_schedule(grid, b), inputs={0: np.ones(b)})
+        assert sim.energy == b * (p - 1)
+
+    def test_depth_one_multicast(self):
+        # Every non-root PE receives b wavelets; only the root sends.
+        p, b = 8, 4
+        grid = row_grid(p)
+        sim = simulate(broadcast_row_schedule(grid, b), inputs={0: np.ones(b)})
+        assert sim.sent[0] == b
+        assert all(sim.sent[pe] == 0 for pe in range(1, p))
+        assert all(sim.received[pe] == b for pe in range(1, p))
+
+    def test_mid_row_root(self):
+        grid = row_grid(8)
+        sched = broadcast_row_schedule(grid, 4, root_col=5)
+        vec = np.arange(4.0)
+        sim = simulate(sched, inputs={5: vec.copy()})
+        for pe in range(5, 8):
+            assert np.allclose(sim.buffers[pe][:4], vec)
+
+
+class TestLaneBroadcast:
+    def test_snake_lane_broadcast(self):
+        g = Grid(3, 4)
+        lane = snake_lane(g)
+        vec = np.arange(6.0)
+        sim = simulate(
+            broadcast_lane_schedule(g, lane, 6), inputs={0: vec.copy()}
+        )
+        for pe in lane:
+            assert np.allclose(sim.buffers[pe][:6], vec)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            broadcast_lane_schedule(Grid(1, 4), [0, 1], 0)
+
+
+class Test2DBroadcast:
+    @pytest.mark.parametrize("m,n", [(2, 2), (3, 5), (4, 4), (1, 6), (6, 1)])
+    def test_everyone_receives(self, m, n):
+        b = 7
+        g = Grid(m, n)
+        vec = np.random.default_rng(m * n).normal(size=b)
+        sim = simulate(broadcast_2d_schedule(g, b), inputs={0: vec.copy()})
+        for pe in range(g.size):
+            assert np.allclose(sim.buffers[pe][:b], vec)
+
+    def test_cycles_match_lemma_71(self):
+        for m, n, b in [(4, 4, 16), (3, 7, 64), (8, 8, 4)]:
+            g = Grid(m, n)
+            sim = simulate(broadcast_2d_schedule(g, b), inputs={0: np.ones(b)})
+            predicted = analytic.broadcast_2d_time(m, n, b)
+            assert abs(sim.cycles - predicted) <= 3, (m, n, b)
+
+    def test_energy_matches_lemma_71(self):
+        m, n, b = 4, 5, 8
+        g = Grid(m, n)
+        sim = simulate(broadcast_2d_schedule(g, b), inputs={0: np.ones(b)})
+        assert sim.energy == b * (m * n - 1)
+
+    def test_beats_equivalent_row_broadcast(self):
+        # §7.1: the 2D layout pays M+N-2 distance instead of P-1.
+        b = 16
+        g2 = Grid(8, 8)
+        sim2 = simulate(broadcast_2d_schedule(g2, b), inputs={0: np.ones(b)})
+        g1 = row_grid(64)
+        sim1 = simulate(broadcast_row_schedule(g1, b), inputs={0: np.ones(b)})
+        assert sim2.cycles < sim1.cycles
+
+    def test_single_pe(self):
+        g = Grid(1, 1)
+        sim = simulate(broadcast_2d_schedule(g, 3), inputs={0: np.ones(3)})
+        assert sim.cycles == 0

@@ -1,0 +1,117 @@
+"""Integration tests for the butterfly AllReduce extension.
+
+The paper only *predicts* the butterfly (Figure 11c); we implement it to
+test that prediction.  See repro/collectives/butterfly.py for why the
+mesh mapping serializes each round's exchanges.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import expected_sum, pe_inputs
+from repro.collectives import allreduce_1d_schedule, butterfly_allreduce_schedule
+from repro.fabric import Grid, row_grid, simulate
+from repro.model import analytic
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_everyone_gets_the_sum(self, p):
+        b = 2 * p
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=p)
+        sched = butterfly_allreduce_schedule(grid, b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = expected_sum(inputs, b)
+        for pe in range(p):
+            assert np.allclose(sim.buffers[pe][:b], expected), pe
+
+    def test_large_vector(self):
+        p, b = 8, 256
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=0)
+        sched = butterfly_allreduce_schedule(grid, b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        assert np.allclose(sim.buffers[3][:b], expected_sum(inputs, b))
+
+    def test_on_column_lane(self):
+        g = Grid(4, 3)
+        lane = [g.index(r, 2) for r in range(4)]
+        b = 8
+        inputs = {pe: np.random.default_rng(pe).normal(size=b) for pe in lane}
+        sched = butterfly_allreduce_schedule(g, b, lane=lane)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = np.sum([inputs[pe] for pe in lane], axis=0)
+        for pe in lane:
+            assert np.allclose(sim.buffers[pe][:b], expected)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            butterfly_allreduce_schedule(row_grid(6), 12)
+
+    def test_rejects_indivisible_b(self):
+        with pytest.raises(ValueError, match="divisible"):
+            butterfly_allreduce_schedule(row_grid(4), 6)
+
+    def test_rejects_single_pe(self):
+        with pytest.raises(ValueError):
+            butterfly_allreduce_schedule(row_grid(1), 4)
+
+    def test_rejects_equal_colors(self):
+        with pytest.raises(ValueError, match="distinct"):
+            butterfly_allreduce_schedule(row_grid(4), 8, colors=(2, 2))
+
+
+class TestStructure:
+    def test_two_colors(self):
+        sched = butterfly_allreduce_schedule(row_grid(8), 16)
+        assert len(sched.colors_used()) == 2
+
+    def test_round_count(self):
+        p, b = 16, 32
+        sched = butterfly_allreduce_schedule(row_grid(p), b)
+        # Each PE runs 2 log2 P full-duplex rounds.
+        for pe, prog in sched.programs.items():
+            assert len(prog.ops) == 2 * 4
+
+    def test_reduce_scatter_halves_payloads(self):
+        p, b = 8, 64
+        sched = butterfly_allreduce_schedule(row_grid(p), b)
+        ops = sched.programs[0].ops
+        lengths = [op.length for op in ops[:3]]  # reduce-scatter rounds
+        assert lengths == [32, 16, 8]
+        lengths = [op.length for op in ops[3:]]  # allgather mirrors
+        assert lengths == [8, 16, 32]
+
+
+class TestTimingStory:
+    def test_measured_between_model_variants(self):
+        # The mesh serialization makes measured cycles land above the
+        # optimistic hypercube-style halving/doubling bound and, at
+        # scale, below the pessimistic full-vector recursive doubling.
+        p, b = 16, 64
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=1)
+        sim = simulate(
+            butterfly_allreduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        hd = analytic.butterfly_allreduce_time(p, b, variant="halving_doubling")
+        rd = analytic.butterfly_allreduce_time(p, b)
+        assert hd < sim.cycles < rd
+
+    def test_loses_to_reduce_then_broadcast(self):
+        # Figure 11c's conclusion extends to the implementation: on the
+        # mesh the butterfly cannot beat multicast-based AllReduce.
+        p, b = 32, 64
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=2)
+        bf = simulate(
+            butterfly_allreduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        tp = simulate(
+            allreduce_1d_schedule(grid, "two_phase", b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert tp.cycles < bf.cycles

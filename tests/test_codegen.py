@@ -1,0 +1,73 @@
+"""Unit tests for the pseudo-CSL emitter."""
+
+from repro.codegen import emit_pe_source, emit_schedule_source, schedule_summary
+from repro.collectives import (
+    allreduce_1d_schedule,
+    reduce_1d_schedule,
+    ring_allreduce_schedule,
+)
+from repro.fabric import row_grid
+from repro.timing import ClockModel, build_instrumented_schedule
+
+
+class TestEmitPE:
+    def test_chain_listing_mentions_streaming(self):
+        sched = reduce_1d_schedule(row_grid(4), "chain", 8)
+        src = emit_pe_source(sched, 1)
+        assert "@fadds(fab_out" in src  # streaming combine-and-forward
+        assert "@set_color_config" in src
+
+    def test_root_listing_accumulates(self):
+        sched = reduce_1d_schedule(row_grid(4), "star", 8)
+        src = emit_pe_source(sched, 0)
+        assert "accumulate" in src
+
+    def test_leaf_listing_sends(self):
+        sched = reduce_1d_schedule(row_grid(4), "chain", 8)
+        src = emit_pe_source(sched, 3)
+        assert "send 8 wavelets" in src
+
+    def test_idle_pe(self):
+        sched = reduce_1d_schedule(row_grid(8), "chain", 4, length=4)
+        src = emit_pe_source(sched, 7)
+        assert "idle PE" in src
+
+    def test_coordinates_in_header(self):
+        sched = reduce_1d_schedule(row_grid(4), "chain", 8)
+        assert "PE (0, 2)" in emit_pe_source(sched, 2)
+
+    def test_ring_duplex_listing(self):
+        sched = ring_allreduce_schedule(row_grid(4), 8)
+        src = emit_pe_source(sched, 1)
+        assert "@fduplex" in src
+        assert "forever" in src  # static ring rules
+
+    def test_instrumented_listing_has_calibration(self):
+        grid = row_grid(4)
+        coll = reduce_1d_schedule(grid, "chain", 4)
+        clock = ClockModel(grid)
+        sched = build_instrumented_schedule(grid, coll, alpha=1.0, clock=clock)
+        src = emit_pe_source(sched, 2)
+        assert "@busy_wait" in src
+        assert "@sample_clock" in src
+
+
+class TestEmitSchedule:
+    def test_all_pes_emitted(self):
+        sched = reduce_1d_schedule(row_grid(5), "tree", 4)
+        src = emit_schedule_source(sched)
+        for pe in range(5):
+            assert f"[flat {pe}]" in src
+
+    def test_limit(self):
+        sched = reduce_1d_schedule(row_grid(5), "tree", 4)
+        src = emit_schedule_source(sched, limit=2)
+        assert "[flat 1]" in src and "[flat 4]" not in src
+
+
+class TestSummary:
+    def test_counts(self):
+        sched = allreduce_1d_schedule(row_grid(8), "two_phase", 16)
+        s = schedule_summary(sched)
+        assert "8 active PEs" in s
+        assert "colors" in s and "router rules" in s

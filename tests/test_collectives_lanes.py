@@ -1,0 +1,76 @@
+"""Unit tests for lane construction and validation."""
+
+import pytest
+
+from repro.collectives.lanes import col_lane, row_lane, snake_lane, validate_lane
+from repro.fabric.geometry import Grid
+
+
+class TestRowLane:
+    def test_full_row(self):
+        g = Grid(3, 4)
+        assert row_lane(g, 1) == [4, 5, 6, 7]
+
+    def test_truncated(self):
+        g = Grid(1, 8)
+        assert row_lane(g, 0, length=3) == [0, 1, 2]
+
+    def test_offset_root(self):
+        g = Grid(1, 6)
+        assert row_lane(g, 0, root_col=2) == [2, 3, 4, 5]
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(ValueError):
+            row_lane(Grid(2, 2), 5)
+
+    def test_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            row_lane(Grid(1, 4), 0, length=9)
+
+
+class TestColLane:
+    def test_full_col(self):
+        g = Grid(3, 4)
+        assert col_lane(g, 1) == [1, 5, 9]
+
+    def test_rejects_bad_col(self):
+        with pytest.raises(ValueError):
+            col_lane(Grid(2, 2), 3)
+
+
+class TestSnakeLane:
+    def test_boustrophedon(self):
+        g = Grid(3, 3)
+        assert snake_lane(g) == [0, 1, 2, 5, 4, 3, 6, 7, 8]
+
+    def test_covers_everything_adjacent(self):
+        g = Grid(5, 7)
+        lane = snake_lane(g)
+        assert sorted(lane) == list(range(35))
+        validate_lane(g, lane)
+
+    def test_single_row(self):
+        g = Grid(1, 4)
+        assert snake_lane(g) == [0, 1, 2, 3]
+
+    def test_single_column(self):
+        g = Grid(4, 1)
+        assert snake_lane(g) == [0, 1, 2, 3]
+
+
+class TestValidateLane:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_lane(Grid(1, 2), [])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            validate_lane(Grid(1, 3), [0, 1, 0])
+
+    def test_rejects_out_of_grid(self):
+        with pytest.raises(ValueError):
+            validate_lane(Grid(1, 2), [0, 1, 2])
+
+    def test_rejects_non_adjacent(self):
+        with pytest.raises(ValueError):
+            validate_lane(Grid(1, 4), [0, 2])

@@ -1,0 +1,134 @@
+"""Integration tests for the public plan/execute API."""
+
+import numpy as np
+import pytest
+
+from repro import Grid, wse
+from repro.core.api import plan_allreduce, plan_reduce
+
+
+class TestReduce:
+    def test_row_auto(self, rng):
+        data = rng.normal(size=(12, 32))
+        out = wse.reduce(data)
+        assert np.allclose(out.result, data.sum(axis=0))
+        assert out.measured_cycles > 0
+        assert out.predicted_cycles > 0
+
+    def test_row_forced_algorithm(self, rng):
+        data = rng.normal(size=(8, 16))
+        for alg in ["star", "chain", "tree", "two_phase", "autogen"]:
+            out = wse.reduce(data, algorithm=alg)
+            assert out.algorithm == alg
+            assert np.allclose(out.result, data.sum(axis=0))
+
+    def test_grid_auto(self, rng):
+        data = rng.normal(size=(4, 5, 16))
+        out = wse.reduce(data)
+        assert np.allclose(out.result, data.sum(axis=(0, 1)))
+
+    def test_grid_snake(self, rng):
+        data = rng.normal(size=(3, 3, 8))
+        out = wse.reduce(data, algorithm="snake")
+        assert np.allclose(out.result, data.sum(axis=(0, 1)))
+
+    def test_prediction_error_reasonable(self, rng):
+        data = rng.normal(size=(32, 128))
+        out = wse.reduce(data, algorithm="two_phase")
+        # Paper: mean model error 12-35% on hardware; our simulator should
+        # be tighter.
+        assert out.prediction_error < 0.15
+
+    def test_unknown_algorithm(self, rng):
+        with pytest.raises(ValueError, match="unknown"):
+            wse.reduce(rng.normal(size=(4, 4)), algorithm="quantum")
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            wse.reduce(rng.normal(size=(8,)))
+
+
+class TestAllReduce:
+    def test_row(self, rng):
+        data = rng.normal(size=(8, 24))
+        out = wse.allreduce(data)
+        assert out.result.shape == data.shape
+        assert np.allclose(out.result, np.broadcast_to(data.sum(0), data.shape))
+
+    def test_ring(self, rng):
+        data = rng.normal(size=(8, 32))
+        out = wse.allreduce(data, algorithm="ring")
+        assert np.allclose(out.result, np.broadcast_to(data.sum(0), data.shape))
+
+    def test_ring_divisibility_guard(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            wse.allreduce(rng.normal(size=(7, 10)), algorithm="ring")
+
+    def test_grid(self, rng):
+        data = rng.normal(size=(3, 4, 8))
+        out = wse.allreduce(data, algorithm="two_phase")
+        total = data.sum(axis=(0, 1))
+        assert out.result.shape == data.shape
+        assert np.allclose(out.result, np.broadcast_to(total, data.shape))
+
+    def test_grid_xy_composition(self, rng):
+        data = rng.normal(size=(3, 4, 8))
+        out = wse.allreduce(data, algorithm="chain", xy=True)
+        total = data.sum(axis=(0, 1))
+        assert np.allclose(out.result, np.broadcast_to(total, data.shape))
+
+
+class TestBroadcast:
+    def test_row(self, rng):
+        vec = rng.normal(size=16)
+        out = wse.broadcast(vec, Grid(1, 8))
+        assert out.result.shape == (8, 16)
+        assert np.allclose(out.result, np.broadcast_to(vec, (8, 16)))
+
+    def test_grid(self, rng):
+        vec = rng.normal(size=8)
+        out = wse.broadcast(vec, Grid(4, 4))
+        assert out.result.shape == (4, 4, 8)
+        assert np.allclose(out.result, np.broadcast_to(vec, (4, 4, 8)))
+
+    def test_rejects_matrix(self, rng):
+        with pytest.raises(ValueError, match="1D vector"):
+            wse.broadcast(rng.normal(size=(2, 2)), Grid(1, 4))
+
+
+class TestPlans:
+    def test_plan_reduce_carries_choice(self):
+        plan = plan_reduce(Grid(1, 16), 64)
+        assert plan.choice is not None
+        assert plan.algorithm == plan.choice.algorithm
+        assert plan.predicted_cycles == pytest.approx(
+            plan.choice.predicted_cycles
+        )
+
+    def test_plan_forced_differs_from_auto(self):
+        plan = plan_reduce(Grid(1, 64), 1, algorithm="chain")
+        assert plan.algorithm == "chain"
+        # chain is a poor choice for scalars; the planner knows better.
+        assert plan.predicted_cycles > plan.choice.predicted_cycles
+
+    def test_plan_allreduce_2d(self):
+        plan = plan_allreduce(Grid(4, 4), 32)
+        assert plan.schedule.grid.size == 16
+
+    def test_schedule_stats_exposed(self):
+        plan = plan_reduce(Grid(1, 8), 16, algorithm="tree")
+        stats = plan.schedule.stats()
+        assert stats["pes"] == 8
+
+
+class TestXYGuards:
+    def test_snake_rejected_for_xy_composition(self, rng):
+        data = rng.normal(size=(3, 3, 8))
+        with pytest.raises(ValueError, match="whole-grid pattern"):
+            wse.allreduce(data, algorithm="snake", xy=True)
+
+    def test_snake_fine_without_xy(self, rng):
+        data = rng.normal(size=(3, 3, 8))
+        out = wse.allreduce(data, algorithm="snake")
+        total = data.sum(axis=(0, 1))
+        assert np.allclose(out.result, np.broadcast_to(total, data.shape))

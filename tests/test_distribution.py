@@ -1,0 +1,183 @@
+"""Integration tests for Gather / Scatter / AllGather / ReduceScatter."""
+
+import numpy as np
+import pytest
+
+from helpers import pe_inputs
+from repro import wse
+from repro.collectives import (
+    allgather_schedule,
+    gather_schedule,
+    reduce_scatter_schedule,
+    scatter_schedule,
+)
+from repro.fabric import Grid, row_grid, simulate
+from repro.model import (
+    allgather_time,
+    gather_time,
+    reduce_scatter_time,
+    scatter_time,
+)
+
+
+class TestGather:
+    @pytest.mark.parametrize("p", [2, 3, 8, 17])
+    def test_blocks_land_in_order(self, p):
+        b = 6
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=p)
+        sim = simulate(
+            gather_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        for i in range(p):
+            assert np.allclose(sim.buffers[0][i * b : (i + 1) * b], inputs[i])
+
+    def test_contention_is_optimal(self):
+        p, b = 8, 16
+        grid = row_grid(p)
+        sim = simulate(
+            gather_schedule(grid, b),
+            inputs={pe: np.ones(b) for pe in range(p)},
+        )
+        assert sim.received[0] == b * (p - 1)
+        assert abs(sim.cycles - gather_time(p, b)) <= 3
+
+    def test_single_pe(self):
+        sim = simulate(gather_schedule(row_grid(1), 4), inputs={0: np.ones(4)})
+        assert sim.cycles == 0
+
+    def test_on_column_lane(self):
+        g = Grid(4, 2)
+        lane = [g.index(r, 1) for r in range(4)]
+        b = 3
+        inputs = {pe: np.random.default_rng(pe).normal(size=b) for pe in lane}
+        sim = simulate(
+            gather_schedule(g, b, lane=lane),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        for i, pe in enumerate(lane):
+            assert np.allclose(sim.buffers[lane[0]][i * b : (i + 1) * b], inputs[pe])
+
+
+class TestScatter:
+    @pytest.mark.parametrize("p", [2, 4, 9])
+    def test_each_pe_gets_its_block(self, p):
+        b = 5
+        grid = row_grid(p)
+        root = np.random.default_rng(p).normal(size=p * b)
+        sim = simulate(scatter_schedule(grid, b), inputs={0: root.copy()})
+        for i in range(1, p):
+            assert np.allclose(sim.buffers[i][:b], root[i * b : (i + 1) * b])
+
+    def test_matches_model(self):
+        p, b = 8, 16
+        grid = row_grid(p)
+        sim = simulate(
+            scatter_schedule(grid, b), inputs={0: np.ones(p * b)}
+        )
+        assert abs(sim.cycles - scatter_time(p, b)) <= 5
+
+
+class TestAllGather:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_everyone_has_everything(self, p):
+        b = 4
+        grid = row_grid(p)
+        vecs = pe_inputs(p, b, seed=p)
+        inputs = {}
+        for pe in range(p):
+            buf = np.zeros(p * b)
+            buf[pe * b : (pe + 1) * b] = vecs[pe]
+            inputs[pe] = buf
+        sim = simulate(allgather_schedule(grid, b), inputs=inputs)
+        full = np.concatenate([vecs[i] for i in range(p)])
+        for pe in range(p):
+            assert np.allclose(sim.buffers[pe][: p * b], full)
+
+    def test_matches_model(self):
+        p, b = 8, 12
+        grid = row_grid(p)
+        inputs = {}
+        for pe in range(p):
+            buf = np.zeros(p * b)
+            buf[pe * b : (pe + 1) * b] = 1.0
+            inputs[pe] = buf
+        sim = simulate(allgather_schedule(grid, b), inputs=inputs)
+        assert abs(sim.cycles - allgather_time(p, b)) <= 5
+
+    def test_rejects_single_pe(self):
+        with pytest.raises(ValueError):
+            allgather_schedule(row_grid(1), 4)
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_each_pe_gets_reduced_chunk(self, p):
+        b = 4 * p
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=p)
+        sim = simulate(
+            reduce_scatter_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        total = np.sum(list(inputs.values()), axis=0)
+        chunk = b // p
+        for i in range(p):
+            got = sim.buffers[i][i * chunk : (i + 1) * chunk]
+            assert np.allclose(got, total[i * chunk : (i + 1) * chunk]), i
+
+    def test_matches_model(self):
+        p, b = 8, 64
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=0)
+        sim = simulate(
+            reduce_scatter_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert abs(sim.cycles - reduce_scatter_time(p, b)) <= 5
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            reduce_scatter_schedule(row_grid(3), 8)
+
+    def test_plus_allgather_equals_allreduce(self):
+        # The classic identity the Ring exploits (§6.2).
+        p, b = 4, 16
+        inputs = pe_inputs(p, b, seed=3)
+        data = np.stack([inputs[i] for i in range(p)])
+        rs = wse.reduce_scatter(data)
+        total = data.sum(axis=0)
+        assert np.allclose(rs.result.reshape(-1), total)
+
+
+class TestPublicAPI:
+    def test_gather(self, rng):
+        d = rng.normal(size=(6, 8))
+        out = wse.gather(d)
+        assert out.result.shape == (6, 8)
+        assert np.allclose(out.result, d)
+        assert out.prediction_error < 0.1
+
+    def test_scatter(self, rng):
+        d = rng.normal(size=(6, 8))
+        out = wse.scatter(d)
+        assert np.allclose(out.result, d)
+
+    def test_allgather(self, rng):
+        d = rng.normal(size=(4, 8))
+        out = wse.allgather(d)
+        assert out.result.shape == (4, 4, 8)
+        for pe in range(4):
+            assert np.allclose(out.result[pe], d)
+
+    def test_reduce_scatter_max(self, rng):
+        d = rng.normal(size=(4, 16))
+        out = wse.reduce_scatter(d, op="max")
+        assert np.allclose(out.result.reshape(-1), d.max(axis=0))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            wse.gather(rng.normal(size=(4,)))
+        with pytest.raises(ValueError):
+            wse.reduce_scatter(rng.normal(size=(3, 8)))  # 8 % 3 != 0

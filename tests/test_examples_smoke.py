@@ -1,0 +1,56 @@
+"""Smoke tests: the runnable examples execute cleanly end to end.
+
+The data-parallel training example is excluded here (it runs a 1024-PE
+grid for many steps — exercised by the benchmark suite's time budget
+instead); everything else completes in seconds.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "planner chose" in out
+    assert "model error" in out
+
+
+def test_gemv():
+    out = _run("gemv_row_reduce.py")
+    assert "GEMV" in out
+    assert "speedup" in out
+
+
+def test_autogen_explorer_small():
+    out = _run("autogen_explorer.py", "8", "16")
+    assert "Reduction tree" in out
+    assert "@set_color_config" in out
+    assert "shoot-out" in out
+
+
+def test_measurement_methodology():
+    out = _run("measurement_methodology.py")
+    assert "calibration iterations" in out
+    assert "converged" in out
+
+
+def test_collectives_tour():
+    out = _run("collectives_tour.py")
+    assert "reduce_scatter" in out
+    assert "timeline" in out

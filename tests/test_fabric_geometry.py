@@ -1,0 +1,91 @@
+"""Unit tests for grid geometry and ports."""
+
+import pytest
+
+from repro.fabric.geometry import Grid, Port, opposite_port, row_grid
+
+
+class TestPorts:
+    def test_opposites(self):
+        assert opposite_port(Port.WEST) == Port.EAST
+        assert opposite_port(Port.EAST) == Port.WEST
+        assert opposite_port(Port.NORTH) == Port.SOUTH
+        assert opposite_port(Port.SOUTH) == Port.NORTH
+
+    def test_ramp_has_no_opposite(self):
+        with pytest.raises(ValueError):
+            opposite_port(Port.RAMP)
+
+
+class TestGrid:
+    def test_indexing_roundtrip(self):
+        g = Grid(3, 5)
+        for r in range(3):
+            for c in range(5):
+                assert g.coords(g.index(r, c)) == (r, c)
+
+    def test_size(self):
+        assert Grid(4, 6).size == 24
+
+    def test_out_of_range(self):
+        g = Grid(2, 2)
+        with pytest.raises(IndexError):
+            g.index(2, 0)
+        with pytest.raises(IndexError):
+            g.coords(4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Grid(0, 5)
+
+    def test_neighbors_interior(self):
+        g = Grid(3, 3)
+        center = g.index(1, 1)
+        assert g.neighbor(center, Port.WEST) == g.index(1, 0)
+        assert g.neighbor(center, Port.EAST) == g.index(1, 2)
+        assert g.neighbor(center, Port.NORTH) == g.index(0, 1)
+        assert g.neighbor(center, Port.SOUTH) == g.index(2, 1)
+
+    def test_neighbors_at_edges_are_none(self):
+        g = Grid(3, 3)
+        assert g.neighbor(g.index(0, 0), Port.WEST) is None
+        assert g.neighbor(g.index(0, 0), Port.NORTH) is None
+        assert g.neighbor(g.index(2, 2), Port.EAST) is None
+        assert g.neighbor(g.index(2, 2), Port.SOUTH) is None
+
+    def test_neighbor_rejects_ramp(self):
+        with pytest.raises(ValueError):
+            Grid(2, 2).neighbor(0, Port.RAMP)
+
+    def test_manhattan(self):
+        g = Grid(4, 4)
+        assert g.manhattan(g.index(0, 0), g.index(3, 3)) == 6
+        assert g.manhattan(5, 5) == 0
+
+    def test_row_and_col_pes(self):
+        g = Grid(2, 3)
+        assert list(g.row_pes(1)) == [3, 4, 5]
+        assert list(g.col_pes(2)) == [2, 5]
+
+    def test_step_port(self):
+        g = Grid(3, 3)
+        assert g.step_port(4, 3) == Port.WEST
+        assert g.step_port(4, 5) == Port.EAST
+        assert g.step_port(4, 1) == Port.NORTH
+        assert g.step_port(4, 7) == Port.SOUTH
+
+    def test_step_port_rejects_non_adjacent(self):
+        g = Grid(3, 3)
+        with pytest.raises(ValueError):
+            g.step_port(0, 8)
+
+    def test_step_port_rejects_row_wrap(self):
+        # PEs 2 and 3 are flat-adjacent but on different rows of a 3-wide
+        # grid; there is no link between them.
+        g = Grid(3, 3)
+        with pytest.raises(ValueError):
+            g.step_port(2, 3)
+
+    def test_row_grid(self):
+        g = row_grid(7)
+        assert (g.rows, g.cols) == (1, 7)

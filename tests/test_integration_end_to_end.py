@@ -1,0 +1,116 @@
+"""End-to-end integration scenarios across the whole stack.
+
+These mirror the examples as tests: GEMV via wafer Reduce, a training
+step via grid AllReduce, planner-vs-forced consistency, and the
+composition identities the collectives must satisfy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Grid, wse
+from repro.core.planner import best_reduce_1d
+
+
+class TestGEMVWorkload:
+    def test_wafer_gemv_matches_numpy(self):
+        p, n_cols, m = 16, 64, 48
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(m, n_cols))
+        x = rng.normal(size=n_cols)
+        cols_per_pe = n_cols // p
+        partials = np.stack(
+            [
+                a[:, pe * cols_per_pe : (pe + 1) * cols_per_pe]
+                @ x[pe * cols_per_pe : (pe + 1) * cols_per_pe]
+                for pe in range(p)
+            ]
+        )
+        out = wse.reduce(partials)
+        assert np.allclose(out.result, a @ x)
+
+    def test_planner_adapts_to_output_height(self):
+        # Small outputs (small B): low-depth pattern.  Large outputs:
+        # chain-family.  The planner must move across regimes.
+        small = best_reduce_1d(32, 4)
+        large = best_reduce_1d(32, 8192)
+        assert small.algorithm != "chain"
+        assert large.candidates["chain"] <= large.candidates["star"]
+
+
+class TestTrainingStep:
+    def test_grid_gradient_allreduce(self):
+        rng = np.random.default_rng(1)
+        grads = rng.normal(size=(4, 4, 24))
+        out = wse.allreduce(grads, algorithm="tree")
+        mean = out.result / 16
+        assert np.allclose(mean[0, 0], grads.sum(axis=(0, 1)) / 16)
+        # every worker has the identical gradient
+        assert np.allclose(out.result, np.broadcast_to(out.result[0, 0], out.result.shape))
+
+
+class TestCompositionIdentities:
+    def test_reduce_scatter_plus_allgather_is_allreduce(self):
+        p, b = 4, 16
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(p, b))
+        rs = wse.reduce_scatter(data)
+        # feed the reduced chunks into an allgather of chunk-vectors
+        chunks = rs.result  # (P, B/P)
+        ag = wse.allgather(chunks)
+        full = ag.result.reshape(p, b)
+        ar = wse.allreduce(data, algorithm="ring")
+        assert np.allclose(full, ar.result)
+
+    def test_gather_then_scatter_roundtrip(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(8, 8))
+        gathered = wse.gather(data)
+        scattered = wse.scatter(gathered.result)
+        assert np.allclose(scattered.result, data)
+
+    def test_reduce_plus_broadcast_is_allreduce(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(8, 16))
+        r = wse.reduce(data, algorithm="two_phase")
+        bc = wse.broadcast(r.result, Grid(1, 8))
+        ar = wse.allreduce(data, algorithm="two_phase")
+        assert np.allclose(bc.result, ar.result)
+
+
+class TestPlannerConsistency:
+    def test_auto_never_slower_than_itself_forced(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(16, 64))
+        auto = wse.reduce(data)
+        forced = wse.reduce(data, algorithm=auto.algorithm)
+        assert auto.measured_cycles == forced.measured_cycles
+
+    def test_auto_beats_worst_candidate_measured(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(32, 64))
+        auto = wse.reduce(data)
+        worst_name = max(
+            auto.plan.choice.candidates, key=auto.plan.choice.candidates.get
+        )
+        worst = wse.reduce(data, algorithm=worst_name)
+        assert auto.measured_cycles < worst.measured_cycles
+
+    def test_predictions_track_measurements_across_algorithms(self):
+        # The model's *ranking* of algorithms matches the measured ranking
+        # for a spread of settings (the paper's key usability claim).
+        rng = np.random.default_rng(7)
+        for p, b in [(16, 4), (16, 256), (64, 16)]:
+            data = rng.normal(size=(p, b))
+            measured = {}
+            predicted = {}
+            for alg in ("star", "chain", "tree", "two_phase"):
+                out = wse.reduce(data, algorithm=alg)
+                measured[alg] = out.measured_cycles
+                predicted[alg] = out.predicted_cycles
+            best_m = min(measured, key=measured.get)
+            best_p = min(predicted, key=predicted.get)
+            # If they disagree, the measured gap must be small (the
+            # paper: mispredictions cost at most ~114 cycles).
+            if best_m != best_p:
+                assert measured[best_p] - measured[best_m] <= 120, (p, b)

@@ -1,0 +1,135 @@
+"""Integration tests for the middle-root AllReduce (§6.1 optimization)."""
+
+import numpy as np
+import pytest
+
+from helpers import expected_sum, pe_inputs
+from repro.collectives import (
+    allreduce_1d_schedule,
+    middle_root_allreduce_schedule,
+    middle_root_allreduce_time,
+)
+from repro.fabric import Grid, row_grid, simulate
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pattern", ["star", "chain", "tree", "two_phase"])
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 16, 21])
+    def test_everyone_gets_the_sum(self, pattern, p):
+        b = 8
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=p)
+        sched = middle_root_allreduce_schedule(grid, pattern, b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = expected_sum(inputs, b)
+        for pe in range(p):
+            assert np.allclose(sim.buffers[pe][:b], expected), (pattern, pe)
+
+    def test_middle_counts_local_vector_once(self):
+        # Regression guard: the middle PE roots both half-trees; its own
+        # vector must appear exactly once in the result.
+        p, b = 9, 4
+        grid = row_grid(p)
+        inputs = {pe: np.zeros(b) for pe in range(p)}
+        inputs[p // 2] = np.ones(b)
+        sched = middle_root_allreduce_schedule(grid, "chain", b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        assert np.allclose(sim.buffers[0][:b], 1.0)
+
+    def test_on_other_row(self):
+        grid = Grid(3, 8)
+        b = 4
+        inputs = {pe: np.full(b, 1.0) for pe in range(grid.size)}
+        sched = middle_root_allreduce_schedule(grid, "tree", b, row=1)
+        sim = simulate(sched, inputs=inputs)
+        for c in range(8):
+            assert np.allclose(sim.buffers[grid.index(1, c)][:b], 8.0)
+
+    def test_rejects_single_pe(self):
+        with pytest.raises(ValueError):
+            middle_root_allreduce_schedule(row_grid(1), "chain", 4)
+
+    def test_rejects_duplicate_colors(self):
+        with pytest.raises(ValueError, match="distinct"):
+            middle_root_allreduce_schedule(
+                row_grid(4), "chain", 4, colors=(0, 1, 2, 3, 0)
+            )
+
+    def test_uses_five_colors(self):
+        sched = middle_root_allreduce_schedule(row_grid(8), "tree", 8)
+        assert len(sched.colors_used()) <= 5
+
+
+class TestTradeOff:
+    def test_wins_latency_bound_regime(self):
+        # Long rows, small vectors: halving the distance/depth pays.
+        p, b = 64, 16
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=0)
+        mid = simulate(
+            middle_root_allreduce_schedule(grid, "two_phase", b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        end = simulate(
+            allreduce_1d_schedule(grid, "two_phase", b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert mid.cycles < end.cycles
+
+    def test_loses_contention_bound_regime(self):
+        # Short rows, big vectors: the extra message at the middle costs.
+        p, b = 8, 512
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=1)
+        mid = simulate(
+            middle_root_allreduce_schedule(grid, "chain", b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        end = simulate(
+            allreduce_1d_schedule(grid, "chain", b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert end.cycles < mid.cycles
+
+    def test_prediction_tracks_measurement(self):
+        for p, b in [(16, 16), (32, 64), (64, 16)]:
+            grid = row_grid(p)
+            inputs = pe_inputs(p, b, seed=2)
+            sim = simulate(
+                middle_root_allreduce_schedule(grid, "two_phase", b),
+                inputs={k: v.copy() for k, v in inputs.items()},
+            )
+            predicted = middle_root_allreduce_time("two_phase", p, b)
+            assert abs(sim.cycles - predicted) / sim.cycles < 0.25, (p, b)
+
+
+class TestReduceOps:
+    """Configurable associative operators through the public API."""
+
+    def test_max(self, rng):
+        from repro import wse
+
+        data = rng.normal(size=(8, 16))
+        out = wse.reduce(data, algorithm="tree", op="max")
+        assert np.allclose(out.result, data.max(axis=0))
+
+    def test_min(self, rng):
+        from repro import wse
+
+        data = rng.normal(size=(8, 16))
+        out = wse.reduce(data, algorithm="two_phase", op="min")
+        assert np.allclose(out.result, data.min(axis=0))
+
+    def test_prod_allreduce(self, rng):
+        from repro import wse
+
+        data = 1.0 + 0.01 * rng.normal(size=(6, 8))
+        out = wse.allreduce(data, algorithm="chain", op="prod")
+        expected = np.broadcast_to(data.prod(axis=0), data.shape)
+        assert np.allclose(out.result, expected)
+
+    def test_unknown_op(self, rng):
+        from repro import wse
+
+        with pytest.raises(ValueError, match="unknown op"):
+            wse.reduce(rng.normal(size=(4, 4)), op="xor")

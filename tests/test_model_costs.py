@@ -1,0 +1,74 @@
+"""Unit tests for the cost-term synthesis (Equation 1, Table 1)."""
+
+import pytest
+
+from repro.model.costs import CostTerms
+from repro.model.params import CS2, MachineParams
+
+
+def terms(e=10, l=4, d=2, c=3, n=5) -> CostTerms:
+    return CostTerms(energy=e, distance=l, depth=d, contention=c, links=n)
+
+
+class TestSynthesize:
+    def test_equation_one(self):
+        t = terms(e=100, l=10, d=3, c=5, n=20)
+        # max(5, 100/20 + 10) + 5*3 = 15 + 15
+        assert t.synthesize(CS2) == pytest.approx(30.0)
+
+    def test_contention_dominates(self):
+        t = terms(e=10, l=1, d=0, c=50, n=10)
+        assert t.synthesize(CS2) == pytest.approx(50.0)
+
+    def test_bandwidth_dominates(self):
+        t = terms(e=1000, l=100, d=0, c=1, n=10)
+        assert t.synthesize(CS2) == pytest.approx(200.0)
+
+    def test_depth_term_uses_ramp_latency(self):
+        t = terms(e=0.0, l=0.0, d=4, c=0.0, n=1)
+        assert t.synthesize(CS2) == pytest.approx(20.0)
+        assert t.synthesize(MachineParams(ramp_latency=7)) == pytest.approx(60.0)
+
+
+class TestDominantTerm:
+    def test_contention(self):
+        assert terms(e=1, l=1, d=0, c=100, n=1).dominant_term() == "contention"
+
+    def test_bandwidth(self):
+        assert terms(e=1000, l=50, d=0, c=1, n=10).dominant_term() == "bandwidth"
+
+    def test_depth(self):
+        assert terms(e=1, l=1, d=100, c=1, n=1).dominant_term() == "depth"
+
+
+class TestScaling:
+    def test_scaled_by_vector(self):
+        t = terms(e=10, l=4, d=2, c=3, n=5).scaled_by_vector(7)
+        assert t.energy == 70
+        assert t.contention == 21
+        # pattern-shape terms unchanged
+        assert t.distance == 4
+        assert t.depth == 2
+        assert t.links == 5
+
+    def test_scale_by_one_is_identity(self):
+        t = terms()
+        assert t.scaled_by_vector(1) == t
+
+    def test_scale_rejects_zero(self):
+        with pytest.raises(ValueError):
+            terms().scaled_by_vector(0)
+
+
+class TestValidation:
+    def test_rejects_zero_links(self):
+        with pytest.raises(ValueError):
+            CostTerms(energy=1, distance=1, depth=1, contention=1, links=0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            CostTerms(energy=-1, distance=1, depth=1, contention=1, links=1)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            CostTerms(energy=1, distance=1, depth=-2, contention=1, links=1)

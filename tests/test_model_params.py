@@ -1,0 +1,68 @@
+"""Unit tests for machine parameters (Table 1 / Section 2.2 constants)."""
+
+import pytest
+
+from repro.model.params import CS2, MachineParams
+
+
+class TestDefaults:
+    def test_ramp_latency_is_two(self):
+        # The paper measures T_R = 2 on the cycle-accurate simulator.
+        assert CS2.ramp_latency == 2
+
+    def test_depth_cycles(self):
+        # Equation (1) charges (2 T_R + 1) per depth unit.
+        assert CS2.depth_cycles == 5
+
+    def test_clock_is_850mhz(self):
+        assert CS2.clock_hz == pytest.approx(850e6)
+
+    def test_wavelet_is_32_bits(self):
+        assert CS2.wavelet_bytes == 4
+
+    def test_sram_48kb(self):
+        assert CS2.sram_bytes == 48 * 1024
+
+    def test_color_budget(self):
+        assert CS2.num_colors == 24
+        assert CS2.configs_per_color == 4
+
+
+class TestConversions:
+    def test_cycles_to_us_roundtrip(self):
+        assert CS2.us_to_cycles(CS2.cycles_to_us(1234.0)) == pytest.approx(1234.0)
+
+    def test_one_us_is_850_cycles(self):
+        assert CS2.us_to_cycles(1.0) == pytest.approx(850.0)
+
+    def test_bytes_to_wavelets_exact(self):
+        assert CS2.bytes_to_wavelets(4) == 1
+        assert CS2.bytes_to_wavelets(1024) == 256
+
+    def test_bytes_to_wavelets_rounds_up(self):
+        assert CS2.bytes_to_wavelets(5) == 2
+        assert CS2.bytes_to_wavelets(7) == 2
+
+    def test_zero_bytes_still_one_wavelet(self):
+        assert CS2.bytes_to_wavelets(0) == 1
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CS2.bytes_to_wavelets(-1)
+
+
+class TestAblationSupport:
+    def test_with_ramp_latency(self):
+        alt = CS2.with_ramp_latency(7)  # Tramm et al.'s reported value
+        assert alt.ramp_latency == 7
+        assert alt.depth_cycles == 15
+        assert CS2.ramp_latency == 2  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CS2.ramp_latency = 3  # type: ignore[misc]
+
+    def test_custom_machine(self):
+        tiny = MachineParams(ramp_latency=1, clock_hz=1e6)
+        assert tiny.depth_cycles == 3
+        assert tiny.cycles_to_us(1) == pytest.approx(1.0)

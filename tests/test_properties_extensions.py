@@ -1,0 +1,120 @@
+"""Property-based tests over the extension collectives.
+
+Random sizes and payloads through Gather/Scatter/AllGather/ReduceScatter,
+the butterfly, and the middle-root AllReduce — every run must satisfy the
+collective's defining postcondition exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    allgather_schedule,
+    butterfly_allreduce_schedule,
+    gather_schedule,
+    middle_root_allreduce_schedule,
+    reduce_scatter_schedule,
+    scatter_schedule,
+)
+from repro.fabric import row_grid, simulate
+
+
+def _vecs(p, b, seed):
+    gen = np.random.default_rng(seed)
+    return {pe: gen.normal(size=b) for pe in range(p)}
+
+
+class TestDistributionProperties:
+    @given(p=st.integers(2, 12), b=st.integers(1, 24), seed=st.integers(0, 99))
+    @settings(max_examples=20)
+    def test_gather_preserves_blocks(self, p, b, seed):
+        grid = row_grid(p)
+        vecs = _vecs(p, b, seed)
+        sim = simulate(
+            gather_schedule(grid, b),
+            inputs={k: v.copy() for k, v in vecs.items()},
+        )
+        for i in range(p):
+            assert np.array_equal(
+                sim.buffers[0][i * b : (i + 1) * b], vecs[i]
+            )
+
+    @given(p=st.integers(2, 12), b=st.integers(1, 24), seed=st.integers(0, 99))
+    @settings(max_examples=20)
+    def test_scatter_inverts_gather(self, p, b, seed):
+        grid = row_grid(p)
+        root = np.random.default_rng(seed).normal(size=p * b)
+        sim = simulate(scatter_schedule(grid, b), inputs={0: root.copy()})
+        for i in range(1, p):
+            assert np.array_equal(
+                sim.buffers[i][:b], root[i * b : (i + 1) * b]
+            )
+
+    @given(p=st.integers(2, 10), b=st.integers(1, 12), seed=st.integers(0, 99))
+    @settings(max_examples=15)
+    def test_allgather_replicates_everything(self, p, b, seed):
+        grid = row_grid(p)
+        vecs = _vecs(p, b, seed)
+        inputs = {}
+        for pe in range(p):
+            buf = np.zeros(p * b)
+            buf[pe * b : (pe + 1) * b] = vecs[pe]
+            inputs[pe] = buf
+        sim = simulate(allgather_schedule(grid, b), inputs=inputs)
+        full = np.concatenate([vecs[i] for i in range(p)])
+        for pe in range(p):
+            assert np.array_equal(sim.buffers[pe][: p * b], full)
+
+    @given(p=st.integers(2, 10), chunk=st.integers(1, 8), seed=st.integers(0, 99))
+    @settings(max_examples=15)
+    def test_reduce_scatter_chunks(self, p, chunk, seed):
+        b = p * chunk
+        grid = row_grid(p)
+        vecs = _vecs(p, b, seed)
+        sim = simulate(
+            reduce_scatter_schedule(grid, b),
+            inputs={k: v.copy() for k, v in vecs.items()},
+        )
+        total = np.sum(list(vecs.values()), axis=0)
+        for i in range(p):
+            got = sim.buffers[i][i * chunk : (i + 1) * chunk]
+            assert np.allclose(got, total[i * chunk : (i + 1) * chunk])
+
+
+class TestButterflyProperties:
+    @given(logp=st.integers(1, 4), chunk=st.integers(1, 6), seed=st.integers(0, 99))
+    @settings(max_examples=15)
+    def test_allreduce_postcondition(self, logp, chunk, seed):
+        p = 2 ** logp
+        b = p * chunk
+        grid = row_grid(p)
+        vecs = _vecs(p, b, seed)
+        sim = simulate(
+            butterfly_allreduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in vecs.items()},
+        )
+        total = np.sum(list(vecs.values()), axis=0)
+        for pe in range(p):
+            assert np.allclose(sim.buffers[pe][:b], total)
+
+
+class TestMiddleRootProperties:
+    @given(
+        p=st.integers(2, 16),
+        b=st.integers(1, 16),
+        pattern=st.sampled_from(["star", "chain", "tree", "two_phase"]),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=20)
+    def test_allreduce_postcondition(self, p, b, pattern, seed):
+        grid = row_grid(p)
+        vecs = _vecs(p, b, seed)
+        sim = simulate(
+            middle_root_allreduce_schedule(grid, pattern, b),
+            inputs={k: v.copy() for k, v in vecs.items()},
+        )
+        total = np.sum(list(vecs.values()), axis=0)
+        for pe in range(p):
+            assert np.allclose(sim.buffers[pe][:b], total)

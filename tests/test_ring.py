@@ -1,0 +1,125 @@
+"""Integration tests for Ring AllReduce on the mesh (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from helpers import expected_sum, pe_inputs
+from repro.collectives.ring import ring_allreduce_schedule, ring_order
+from repro.fabric import Grid, row_grid, simulate
+from repro.model import analytic
+
+
+class TestRingOrder:
+    def test_simple(self):
+        assert ring_order(5, "simple") == [0, 1, 2, 3, 4]
+
+    def test_distance_preserving_even(self):
+        assert ring_order(6, "distance_preserving") == [0, 2, 4, 5, 3, 1]
+
+    def test_distance_preserving_odd(self):
+        order = ring_order(5, "distance_preserving")
+        assert order == [0, 2, 4, 3, 1]
+        # Every edge (including the wrap) spans at most 2 positions.
+        for a, b in zip(order, order[1:] + order[:1]):
+            assert abs(a - b) <= 2
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ring_order(1, "simple")
+
+    def test_rejects_unknown_mapping(self):
+        with pytest.raises(ValueError):
+            ring_order(4, "torus")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mapping", ["simple", "distance_preserving"])
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 12])
+    def test_allreduce_sums(self, mapping, p):
+        b = 4 * p  # divisible chunks
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=p)
+        sched = ring_allreduce_schedule(grid, b, mapping=mapping)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = expected_sum(inputs, b)
+        for pe in range(p):
+            assert np.allclose(sim.buffers[pe][:b], expected), (mapping, p, pe)
+
+    def test_on_grid_column_lane(self):
+        g = Grid(4, 3)
+        lane = [g.index(r, 1) for r in range(4)]
+        b = 8
+        inputs = {pe: np.random.default_rng(pe).normal(size=b) for pe in lane}
+        sched = ring_allreduce_schedule(g, b, lane=lane)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = np.sum([inputs[pe] for pe in lane], axis=0)
+        for pe in lane:
+            assert np.allclose(sim.buffers[pe][:b], expected)
+
+    def test_rejects_indivisible_b(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ring_allreduce_schedule(row_grid(3), 8)
+
+    def test_rejects_single_pe(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_schedule(row_grid(1), 4)
+
+
+class TestColors:
+    def test_simple_mapping_uses_three_colors(self):
+        # Matches the paper: "Our 1D implementations utilize up to 3 colors."
+        sched = ring_allreduce_schedule(row_grid(8), 16, mapping="simple")
+        assert len(sched.colors_used()) <= 3
+
+    def test_distance_preserving_stays_small(self):
+        sched = ring_allreduce_schedule(
+            row_grid(8), 16, mapping="distance_preserving"
+        )
+        assert len(sched.colors_used()) <= 5
+
+    def test_palette_exhaustion_raises(self):
+        with pytest.raises(ValueError, match="colors"):
+            ring_allreduce_schedule(row_grid(8), 16, palette=(0,))
+
+
+class TestTiming:
+    @pytest.mark.parametrize("mapping", ["simple", "distance_preserving"])
+    def test_matches_lemma_61(self, mapping):
+        # Both mappings are predicted identical (Section 6.2); measured
+        # cycles should agree with the formula within a small tolerance.
+        p, b = 8, 64
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=0)
+        sched = ring_allreduce_schedule(grid, b, mapping=mapping)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        predicted = analytic.ring_allreduce_time(p, b)
+        assert abs(sim.cycles - predicted) / predicted < 0.05
+
+    def test_contention_matches_lemma(self):
+        p, b = 8, 64
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=0)
+        sim = simulate(
+            ring_allreduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        # Each PE receives 2 (P-1) B/P wavelets over both phases.
+        assert sim.received[3] == 2 * (p - 1) * b // p
+
+    def test_reduce_then_broadcast_beats_ring_at_scale(self):
+        # The paper's conclusion (§6.3/8.6): multicast makes the direct
+        # approach win except for bandwidth-dominated regimes.
+        p, b = 32, 128
+        grid = row_grid(p)
+        inputs = pe_inputs(p, b, seed=0)
+        from repro.collectives import allreduce_1d_schedule
+
+        ring_sim = simulate(
+            ring_allreduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        rb_sim = simulate(
+            allreduce_1d_schedule(grid, "two_phase", b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert rb_sim.cycles < ring_sim.cycles

@@ -1,0 +1,138 @@
+"""Scheduler robustness: random trees on 2D lanes, stacked compositions.
+
+These stress the invariant that *any* valid pre-order tree lowered along
+*any* valid lane executes correctly under arbitrary stalls — the property
+the paper's loose synchronization argument rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autogen.tree import ReductionTree
+from repro.collectives import (
+    broadcast_lane_schedule,
+    schedule_tree_reduce,
+    snake_lane,
+)
+from repro.fabric import Grid, merge_sequential, simulate
+
+
+@st.composite
+def trees(draw, p: int):
+    tree = ReductionTree(p=p)
+
+    def build(base: int, size: int) -> None:
+        remaining = size - 1
+        cursor = base + 1
+        while remaining > 0:
+            block = draw(st.integers(min_value=1, max_value=remaining))
+            tree.children[base].append(cursor)
+            build(cursor, block)
+            cursor += block
+            remaining -= block
+
+    build(0, p)
+    tree.validate()
+    return tree
+
+
+class TestSnakeLaneTrees:
+    @given(data=st.data())
+    @settings(max_examples=15)
+    def test_random_tree_on_snake(self, data):
+        m = data.draw(st.integers(2, 4))
+        n = data.draw(st.integers(2, 4))
+        grid = Grid(m, n)
+        lane = snake_lane(grid)
+        tree = data.draw(trees(len(lane)))
+        b = data.draw(st.integers(1, 8))
+        gen = np.random.default_rng(m * 100 + n)
+        inputs = {pe: gen.normal(size=b) for pe in lane}
+        sched = schedule_tree_reduce(grid, tree, lane, b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = np.sum(list(inputs.values()), axis=0)
+        assert np.allclose(sim.buffers[lane[0]][:b], expected)
+
+    @given(data=st.data())
+    @settings(max_examples=10)
+    def test_random_tree_with_tiny_fifos(self, data):
+        # Backpressure-heavy: capacity-1 queues everywhere.
+        p = data.draw(st.integers(2, 10))
+        tree = data.draw(trees(p))
+        b = data.draw(st.integers(1, 6))
+        grid = Grid(1, p)
+        gen = np.random.default_rng(p)
+        inputs = {pe: gen.normal(size=b) for pe in range(p)}
+        sched = schedule_tree_reduce(grid, tree, list(range(p)), b)
+        sim = simulate(
+            sched,
+            inputs={k: v.copy() for k, v in inputs.items()},
+            fifo_capacity=1,
+        )
+        expected = np.sum(list(inputs.values()), axis=0)
+        assert np.allclose(sim.buffers[0][:b], expected)
+
+    @given(data=st.data())
+    @settings(max_examples=10)
+    def test_control_wavelet_mode_on_random_trees(self, data):
+        p = data.draw(st.integers(2, 10))
+        tree = data.draw(trees(p))
+        b = data.draw(st.integers(1, 6))
+        grid = Grid(1, p)
+        gen = np.random.default_rng(p + 50)
+        inputs = {pe: gen.normal(size=b) for pe in range(p)}
+        sched = schedule_tree_reduce(
+            grid, tree, list(range(p)), b, use_control_wavelets=True
+        )
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = np.sum(list(inputs.values()), axis=0)
+        assert np.allclose(sim.buffers[0][:b], expected)
+
+
+class TestStackedPhases:
+    def test_reduce_then_lane_broadcast_on_snake(self):
+        # A full allreduce threaded along the snake of a grid.
+        grid = Grid(3, 4)
+        lane = snake_lane(grid)
+        b = 6
+        gen = np.random.default_rng(0)
+        inputs = {pe: gen.normal(size=b) for pe in lane}
+        from repro.autogen.tree import two_phase_tree
+
+        reduce_phase = schedule_tree_reduce(
+            grid, two_phase_tree(len(lane)), lane, b, colors=(0, 1),
+            validate=False,
+        )
+        bcast_phase = broadcast_lane_schedule(grid, lane, b, color=2)
+        merged = merge_sequential(reduce_phase, bcast_phase, "snake-allreduce")
+        sim = simulate(merged, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = np.sum(list(inputs.values()), axis=0)
+        for pe in lane:
+            assert np.allclose(sim.buffers[pe][:b], expected)
+
+    def test_three_phase_stack(self):
+        # reduce -> broadcast -> reduce again (doubling the sum).
+        grid = Grid(1, 6)
+        b = 4
+        lane = list(range(6))
+        from repro.autogen.tree import chain_tree
+
+        r1 = schedule_tree_reduce(
+            grid, chain_tree(6), lane, b, colors=(0, 1), validate=False
+        )
+        bc = broadcast_lane_schedule(grid, lane, b, color=2)
+        r2 = schedule_tree_reduce(
+            grid, chain_tree(6), lane, b, colors=(3, 4), validate=False
+        )
+        stacked = merge_sequential(
+            merge_sequential(r1, bc, "rb"), r2, "rbr"
+        )
+        gen = np.random.default_rng(1)
+        inputs = {pe: gen.normal(size=b) for pe in lane}
+        sim = simulate(stacked, inputs={k: v.copy() for k, v in inputs.items()})
+        total = np.sum(list(inputs.values()), axis=0)
+        # After broadcast everyone holds `total`; the second reduce sums
+        # six copies of it.
+        assert np.allclose(sim.buffers[0][:b], 6 * total)

@@ -1,0 +1,145 @@
+"""Integration tests for the Section 8.3 measurement methodology."""
+
+import numpy as np
+import pytest
+
+from helpers import pe_inputs
+from repro.collectives import reduce_1d_schedule, xy_reduce_schedule
+from repro.fabric import Grid, row_grid, simulate
+from repro.timing import (
+    ClockModel,
+    build_instrumented_schedule,
+    calibrate,
+    measure_collective,
+    run_instrumented,
+)
+
+
+class TestClockModel:
+    def test_deterministic(self):
+        g = row_grid(8)
+        a, b = ClockModel(g, seed=1), ClockModel(g, seed=1)
+        assert a.offsets == b.offsets
+        assert np.allclose(a.noise, b.noise)
+
+    def test_ideal_is_noiseless(self):
+        ideal = ClockModel(row_grid(8)).ideal()
+        assert all(v == 0 for v in ideal.offsets.values())
+        assert np.allclose(ideal.noise, 1.0)
+        assert ideal.write_cycles(3, 100) == 100
+
+    def test_thermal_slowdown(self):
+        clock = ClockModel(row_grid(4), thermal_mean=1.5, thermal_std=0.0)
+        assert clock.write_cycles(0, 100) == 150
+
+    def test_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            ClockModel(row_grid(2), thermal_mean=0.5)
+
+    def test_rejects_negative_writes(self):
+        with pytest.raises(ValueError):
+            ClockModel(row_grid(2)).write_cycles(0, -1)
+
+
+class TestInstrumentation:
+    def test_samples_present_for_all_pes(self):
+        grid = row_grid(8)
+        coll = reduce_1d_schedule(grid, "chain", 8)
+        clock = ClockModel(grid).ideal()
+        run = run_instrumented(grid, coll, 1.0, clock, inputs=pe_inputs(8, 8))
+        assert len(run.calibrated_start) == 8
+        assert len(run.calibrated_end) == 8
+
+    def test_ideal_alpha_one_aligns_starts(self):
+        # "In an ideal system alpha = 1 would make all PEs start at the
+        # same time since each write takes 1 cycle."
+        grid = row_grid(16)
+        coll = reduce_1d_schedule(grid, "two_phase", 16)
+        clock = ClockModel(grid).ideal()
+        run = run_instrumented(grid, coll, 1.0, clock, inputs=pe_inputs(16, 16))
+        assert run.true_start_spread <= 4
+
+    def test_offsets_cancel_in_calibration(self):
+        grid = row_grid(8)
+        coll = reduce_1d_schedule(grid, "chain", 8)
+        skewed = ClockModel(grid, offset_std=1000.0, thermal_mean=1.0,
+                            thermal_std=0.0)
+        run = run_instrumented(grid, coll, 1.0, skewed, inputs=pe_inputs(8, 8))
+        # Thermal-noise-free: calibrated spread small despite huge skew.
+        assert run.start_spread <= 4
+
+    def test_trigger_color_collision_detected(self):
+        grid = row_grid(4)
+        coll = reduce_1d_schedule(grid, "chain", 4, colors=(14, 1))
+        with pytest.raises(ValueError, match="trigger color"):
+            build_instrumented_schedule(grid, coll, 1.0, ClockModel(grid))
+
+
+class TestCalibration:
+    def test_thermal_noise_needs_calibration(self):
+        grid = row_grid(32)
+        coll = reduce_1d_schedule(grid, "two_phase", 32)
+        clock = ClockModel(grid, thermal_mean=1.3, thermal_std=0.0)
+        uncal = run_instrumented(grid, coll, 1.0, clock, inputs=pe_inputs(32, 32))
+        cal = calibrate(
+            grid, coll, clock, inputs=pe_inputs(32, 32), target_spread=5.0
+        )
+        assert cal.start_spread < uncal.start_spread
+        assert cal.alpha < 1.0  # slower writes -> fewer of them
+
+    def test_converges_within_iterations(self):
+        grid = row_grid(16)
+        coll = reduce_1d_schedule(grid, "chain", 16)
+        clock = ClockModel(grid, thermal_mean=1.15, thermal_std=0.01)
+        cal = calibrate(grid, coll, clock, inputs=pe_inputs(16, 16),
+                        target_spread=10.0)
+        assert cal.start_spread <= 10.0
+        assert cal.iterations <= 4
+
+    def test_history_recorded(self):
+        grid = row_grid(16)
+        coll = reduce_1d_schedule(grid, "chain", 16)
+        clock = ClockModel(grid, thermal_mean=1.3, thermal_std=0.0)
+        cal = calibrate(grid, coll, clock, inputs=pe_inputs(16, 16),
+                        target_spread=2.0)
+        assert len(cal.history) >= 2
+        assert cal.history[0][0] == 1.0  # starts at the ideal alpha
+
+
+class TestMeasurement:
+    def test_measured_runtime_tracks_direct_simulation(self):
+        grid = row_grid(16)
+        b = 32
+        coll = reduce_1d_schedule(grid, "two_phase", b)
+        clock = ClockModel(grid)
+        inputs = pe_inputs(16, b)
+        runtime, cal = measure_collective(grid, coll, clock, inputs=inputs)
+        direct = simulate(
+            coll, inputs={k: v.copy() for k, v in inputs.items()}
+        ).cycles
+        # Instrumentation adds sampling overhead but must stay close.
+        assert runtime >= direct * 0.9
+        assert runtime <= direct * 1.3 + 30
+
+    def test_2d_grid_measurement(self):
+        grid = Grid(4, 4)
+        b = 8
+        coll = xy_reduce_schedule(grid, "tree", b)
+        clock = ClockModel(grid)
+        inputs = pe_inputs(16, b)
+        runtime, cal = measure_collective(grid, coll, clock, inputs=inputs)
+        assert runtime > 0
+        # Paper achieves < 129 cycles spread for 2D; we hold a tight bound
+        # at this small scale.
+        assert cal.start_spread <= 60
+
+    def test_start_spread_scales_like_paper(self):
+        # Paper: < 57 cycles (1D on 512 PEs), < 129 (2D 512x512).  The
+        # spread comes from differential thermal noise over the wait
+        # writes; check the 1D bound at 64 PEs scaled down holds.
+        grid = row_grid(64)
+        coll = reduce_1d_schedule(grid, "chain", 8)
+        clock = ClockModel(grid)
+        cal = calibrate(grid, coll, clock, inputs=pe_inputs(64, 8),
+                        target_spread=57.0)
+        assert cal.start_spread < 57

@@ -1,0 +1,118 @@
+"""Tests for the execution tracer and its cost-term cross-checks."""
+
+import numpy as np
+import pytest
+
+from helpers import pe_inputs
+from repro.collectives import (
+    broadcast_row_schedule,
+    reduce_1d_schedule,
+    ring_allreduce_schedule,
+)
+from repro.fabric import Tracer, link_utilization, render_timeline, row_grid, simulate
+
+
+def _traced(sched, inputs, **kwargs):
+    tracer = Tracer(**kwargs)
+    sim = simulate(
+        sched, inputs={k: v.copy() for k, v in inputs.items()}, tracer=tracer
+    )
+    return tracer, sim
+
+
+class TestCrossChecks:
+    @pytest.mark.parametrize("pattern", ["star", "chain", "tree", "two_phase"])
+    def test_trace_energy_equals_counter(self, pattern):
+        p, b = 8, 8
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, pattern, b)
+        tracer, sim = _traced(sched, pe_inputs(p, b, seed=1))
+        assert tracer.measured_energy() == sim.energy
+
+    def test_trace_contention_matches_counters(self):
+        p, b = 8, 4
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, "star", b)
+        tracer, sim = _traced(sched, pe_inputs(p, b, seed=2))
+        cont = tracer.measured_contention()
+        # Root: receives B (P-1) (ramp-up events) and consumes them.
+        assert cont[0] == sim.received[0]
+        # A leaf: only its B sent wavelets.
+        assert cont[p - 1] == b
+
+    def test_ring_traced(self):
+        p, b = 4, 8
+        grid = row_grid(p)
+        sched = ring_allreduce_schedule(grid, b)
+        tracer, sim = _traced(sched, pe_inputs(p, b, seed=3))
+        assert tracer.measured_energy() == sim.energy
+
+    def test_stream_span_ordering(self):
+        # Chain: color 0 and color 1 interleave, but both spans lie inside
+        # the run and overlap (pipelining).
+        p, b = 6, 16
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, "chain", b)
+        tracer, sim = _traced(sched, pe_inputs(p, b, seed=4))
+        s0 = tracer.stream_span(0)
+        s1 = tracer.stream_span(1)
+        assert s0 is not None and s1 is not None
+        assert max(s0[1], s1[1]) <= sim.cycles
+        assert s0[0] < s1[1] and s1[0] < s0[1]  # overlap = pipelining
+
+    def test_missing_color_span(self):
+        grid = row_grid(2)
+        sched = broadcast_row_schedule(grid, 4, color=3)
+        tracer, _ = _traced(sched, {0: np.ones(4)})
+        assert tracer.stream_span(17) is None
+
+
+class TestBounds:
+    def test_truncation(self):
+        p, b = 8, 32
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, "chain", b)
+        tracer, _ = _traced(sched, pe_inputs(p, b, seed=5), max_events=10)
+        assert tracer.truncated
+        assert len(tracer.events) == 10
+
+    def test_queries(self):
+        p, b = 4, 4
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, "chain", b)
+        tracer, _ = _traced(sched, pe_inputs(p, b, seed=6))
+        assert len(tracer.for_pe(0)) > 0
+        assert all(e.pe == 2 for e in tracer.for_pe(2))
+        assert all(e.kind == "link" for e in tracer.of_kind("link"))
+
+
+class TestRendering:
+    def test_timeline_mentions_all_pes(self):
+        p, b = 5, 8
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, "two_phase", b)
+        tracer, _ = _traced(sched, pe_inputs(p, b, seed=7))
+        out = render_timeline(tracer, grid)
+        for c in range(p):
+            assert f"PE(0,{c})" in out
+        assert "#" in out and "-" in out
+
+    def test_timeline_empty(self):
+        assert "no events" in render_timeline(Tracer(), row_grid(2))
+
+    def test_timeline_cycle_range(self):
+        p, b = 4, 16
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, "chain", b)
+        tracer, sim = _traced(sched, pe_inputs(p, b, seed=8))
+        out = render_timeline(tracer, grid, cycle_range=(0, 10))
+        assert "cycles 0..10" in out
+
+    def test_link_utilization_lists_hot_links(self):
+        p, b = 6, 8
+        grid = row_grid(p)
+        sched = reduce_1d_schedule(grid, "star", b)
+        tracer, _ = _traced(sched, pe_inputs(p, b, seed=9))
+        out = link_utilization(tracer, grid)
+        # The link into the root carries everything: B (P-1) hops.
+        assert f"WEST: {b * (p - 1)}" in out

@@ -1,0 +1,130 @@
+"""Unit tests for the shared tree-to-schedule lowering."""
+
+import numpy as np
+import pytest
+
+from helpers import expected_sum, pe_inputs
+from repro.autogen.tree import ReductionTree, chain_tree, star_tree
+from repro.collectives.lanes import col_lane, snake_lane
+from repro.collectives.tree_schedule import schedule_tree_reduce
+from repro.fabric import Grid, Port, row_grid, simulate
+from repro.fabric.ir import Recv, RecvReduceSend, Send
+
+
+class TestLowering:
+    def test_colors_alternate_by_depth(self):
+        # Chain: consecutive PEs must send on alternating colors (§5.2).
+        grid = row_grid(4)
+        sched = schedule_tree_reduce(grid, chain_tree(4), [0, 1, 2, 3], b=2)
+        send_colors = {}
+        for pe, prog in sched.programs.items():
+            for op in prog.ops:
+                if isinstance(op, (Send, RecvReduceSend)):
+                    send_colors[pe] = getattr(op, "color", None) or op.out_color
+        assert send_colors[1] != send_colors[2]
+        assert send_colors[2] != send_colors[3]
+
+    def test_star_root_receives_one_merged_recv(self):
+        grid = row_grid(5)
+        sched = schedule_tree_reduce(grid, star_tree(5), list(range(5)), b=3)
+        root_ops = sched.programs[0].ops
+        assert len(root_ops) == 1
+        assert isinstance(root_ops[0], Recv)
+        assert root_ops[0].messages == 4
+        assert root_ops[0].combine
+
+    def test_internal_vertex_streams_last_child(self):
+        tree = ReductionTree(p=4)
+        tree.children[0] = [1]
+        tree.children[1] = [2, 3]
+        tree.validate()
+        grid = row_grid(4)
+        sched = schedule_tree_reduce(grid, tree, list(range(4)), b=2)
+        ops = sched.programs[1].ops
+        assert isinstance(ops[0], Recv) and ops[0].messages == 1
+        assert isinstance(ops[1], RecvReduceSend)
+
+    def test_leaf_just_sends(self):
+        grid = row_grid(3)
+        sched = schedule_tree_reduce(grid, chain_tree(3), [0, 1, 2], b=2)
+        ops = sched.programs[2].ops
+        assert len(ops) == 1 and isinstance(ops[0], Send)
+
+    def test_rule_counts_are_b(self):
+        grid = row_grid(4)
+        b = 9
+        sched = schedule_tree_reduce(grid, chain_tree(4), [0, 1, 2, 3], b=b)
+        for prog in sched.programs.values():
+            for rules in prog.router.values():
+                for rule in rules:
+                    assert rule.count == b
+
+    def test_mismatched_lane_length(self):
+        with pytest.raises(ValueError, match="lane"):
+            schedule_tree_reduce(row_grid(4), chain_tree(3), [0, 1, 2, 3], b=1)
+
+    def test_identical_colors_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            schedule_tree_reduce(
+                row_grid(2), chain_tree(2), [0, 1], b=1, colors=(3, 3)
+            )
+
+    def test_single_vertex_schedule_is_idle(self):
+        sched = schedule_tree_reduce(row_grid(1), ReductionTree(p=1), [0], b=4)
+        sim = simulate(sched, inputs={0: np.arange(4.0)})
+        assert sim.cycles == 0
+        assert np.allclose(sim.buffers[0], np.arange(4.0))
+
+
+class TestAlternativeLanes:
+    def test_column_lane(self):
+        g = Grid(5, 3)
+        lane = col_lane(g, 2)
+        b = 4
+        inputs = {pe: np.random.default_rng(pe).normal(size=b) for pe in lane}
+        sched = schedule_tree_reduce(g, chain_tree(5), lane, b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        expected = np.sum([inputs[pe] for pe in lane], axis=0)
+        assert np.allclose(sim.buffers[lane[0]][:b], expected)
+
+    def test_snake_lane_with_star_tree(self):
+        g = Grid(3, 3)
+        lane = snake_lane(g)
+        b = 2
+        inputs = pe_inputs(9, b, seed=0)
+        sim = simulate(
+            schedule_tree_reduce(g, star_tree(9), lane, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert np.allclose(sim.buffers[0][:b], expected_sum(inputs, b))
+
+    def test_reversed_row_lane(self):
+        # Root on the east end: messages flow eastward.
+        g = row_grid(4)
+        lane = [3, 2, 1, 0]
+        b = 3
+        inputs = pe_inputs(4, b, seed=1)
+        sim = simulate(
+            schedule_tree_reduce(g, chain_tree(4), lane, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert np.allclose(sim.buffers[3][:b], expected_sum(inputs, b))
+
+
+class TestScheduleShape:
+    def test_every_pe_has_program(self):
+        sched = schedule_tree_reduce(row_grid(6), chain_tree(6), list(range(6)), b=2)
+        assert len(sched.programs) == 6
+
+    def test_two_colors_max(self):
+        for p in [2, 5, 16]:
+            sched = schedule_tree_reduce(
+                row_grid(p), chain_tree(p), list(range(p)), b=2
+            )
+            assert len(sched.colors_used()) <= 2
+
+    def test_validates_by_default(self):
+        bad = ReductionTree(p=3)
+        bad.children[0] = [2, 1]
+        with pytest.raises(ValueError):
+            schedule_tree_reduce(row_grid(3), bad, [0, 1, 2], b=1)

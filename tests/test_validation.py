@@ -1,0 +1,81 @@
+"""Unit tests for the verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    allreduce_1d_schedule,
+    broadcast_row_schedule,
+    reduce_1d_schedule,
+)
+from repro.fabric import row_grid
+from repro.validation import (
+    random_inputs,
+    verify_allreduce,
+    verify_broadcast,
+    verify_reduce,
+)
+
+
+class TestRandomInputs:
+    def test_deterministic(self):
+        a = random_inputs(4, 8, seed=3)
+        b = random_inputs(4, 8, seed=3)
+        for pe in range(4):
+            assert np.array_equal(a[pe], b[pe])
+
+    def test_shapes(self):
+        inputs = random_inputs(5, 7)
+        assert len(inputs) == 5
+        assert all(v.shape == (7,) for v in inputs.values())
+
+    def test_scale(self):
+        big = random_inputs(2, 1000, seed=0, scale=100.0)
+        assert np.abs(big[0]).mean() > 10
+
+
+class TestVerifiers:
+    def test_verify_reduce_passes(self):
+        grid = row_grid(6)
+        b = 8
+        sched = reduce_1d_schedule(grid, "tree", b)
+        sim = verify_reduce(sched, random_inputs(6, b), b)
+        assert sim.cycles > 0
+
+    def test_verify_reduce_catches_wrong_result(self):
+        grid = row_grid(4)
+        b = 4
+        # Schedule a reduce over only 3 PEs but claim 4 inputs: the sum at
+        # the root misses PE 3's contribution.
+        sched = reduce_1d_schedule(grid, "chain", b, length=3)
+        with pytest.raises(AssertionError, match="off by"):
+            verify_reduce(sched, random_inputs(4, b), b)
+
+    def test_verify_allreduce_passes(self):
+        grid = row_grid(4)
+        b = 8
+        sched = allreduce_1d_schedule(grid, "ring", b)
+        verify_allreduce(sched, random_inputs(4, b), b)
+
+    def test_verify_allreduce_catches_partial(self):
+        grid = row_grid(4)
+        b = 4
+        # A plain reduce leaves non-root PEs without the sum.
+        sched = reduce_1d_schedule(grid, "chain", b)
+        with pytest.raises(AssertionError):
+            verify_allreduce(sched, random_inputs(4, b), b)
+
+    def test_verify_broadcast_passes(self):
+        grid = row_grid(5)
+        vec = np.arange(6.0)
+        sched = broadcast_row_schedule(grid, 6)
+        verify_broadcast(sched, vec)
+
+    def test_inputs_not_mutated(self):
+        grid = row_grid(4)
+        b = 4
+        inputs = random_inputs(4, b)
+        snapshot = {k: v.copy() for k, v in inputs.items()}
+        verify_reduce(reduce_1d_schedule(grid, "star", b), inputs, b)
+        for pe in inputs:
+            assert np.array_equal(inputs[pe], snapshot[pe])

@@ -1,0 +1,120 @@
+"""Integration tests for 2D Reduce: X-Y composition and Snake (Section 7)."""
+
+import numpy as np
+import pytest
+
+from helpers import expected_sum, pe_inputs
+from repro.collectives import snake_reduce_schedule, xy_reduce_schedule
+from repro.fabric import Grid, simulate
+from repro.model import analytic
+
+PATTERNS = ["star", "chain", "tree", "two_phase", "autogen"]
+
+
+class TestXYReduce:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("shape", [(2, 2), (3, 5), (4, 4), (5, 3)])
+    def test_sums_to_corner(self, pattern, shape):
+        m, n = shape
+        b = 8
+        grid = Grid(m, n)
+        inputs = pe_inputs(grid.size, b, seed=m * 10 + n)
+        sched = xy_reduce_schedule(grid, pattern, b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        assert np.allclose(sim.buffers[0][:b], expected_sum(inputs, b))
+
+    def test_single_row_grid(self):
+        grid = Grid(1, 6)
+        b = 4
+        inputs = pe_inputs(6, b, seed=0)
+        sched = xy_reduce_schedule(grid, "chain", b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        assert np.allclose(sim.buffers[0][:b], expected_sum(inputs, b))
+
+    def test_single_column_grid(self):
+        grid = Grid(6, 1)
+        b = 4
+        inputs = pe_inputs(6, b, seed=0)
+        sched = xy_reduce_schedule(grid, "chain", b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        assert np.allclose(sim.buffers[0][:b], expected_sum(inputs, b))
+
+    def test_rejects_shared_colors(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            xy_reduce_schedule(
+                Grid(2, 2), "chain", 4, row_colors=(0, 1), col_colors=(1, 2)
+            )
+
+    def test_row_phase_contention_isolated_per_row(self):
+        # Each row root receives only its row's traffic plus one column
+        # message stream.
+        grid = Grid(4, 4)
+        b = 4
+        inputs = pe_inputs(16, b, seed=1)
+        sched = xy_reduce_schedule(grid, "star", b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        # Row 3's root (PE 12) receives 3 row messages, sends 1 column msg.
+        assert sim.received[12] == 3 * b
+
+    def test_cycles_close_to_model(self):
+        m = n = 8
+        b = 32
+        grid = Grid(m, n)
+        inputs = pe_inputs(grid.size, b, seed=2)
+        for pattern in ["chain", "tree", "two_phase"]:
+            sched = xy_reduce_schedule(grid, pattern, b)
+            sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+            fn = analytic.REDUCE_1D_TIMES[pattern]
+            predicted = float(fn(n, b)) + float(fn(m, b))
+            # X-Y composition adds a phase handoff; the paper notes extra
+            # register-load overhead here too (§8.7).
+            assert sim.cycles <= 1.25 * predicted + 30, (pattern, sim.cycles, predicted)
+            assert sim.cycles >= 0.70 * predicted, (pattern, sim.cycles, predicted)
+
+
+class TestSnake:
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 5), (4, 4), (5, 2), (3, 3)])
+    def test_sums_to_corner(self, shape):
+        m, n = shape
+        b = 8
+        grid = Grid(m, n)
+        inputs = pe_inputs(grid.size, b, seed=7)
+        sched = snake_reduce_schedule(grid, b)
+        sim = simulate(sched, inputs={k: v.copy() for k, v in inputs.items()})
+        assert np.allclose(sim.buffers[0][:b], expected_sum(inputs, b))
+
+    def test_matches_chain_timing(self):
+        m, n, b = 4, 4, 64
+        grid = Grid(m, n)
+        inputs = pe_inputs(grid.size, b, seed=3)
+        sim = simulate(
+            snake_reduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        predicted = analytic.snake_reduce_time(m, n, b)
+        assert abs(sim.cycles - predicted) <= 5
+
+    def test_energy_is_chain_energy(self):
+        m, n, b = 3, 4, 8
+        grid = Grid(m, n)
+        inputs = pe_inputs(grid.size, b, seed=4)
+        sim = simulate(
+            snake_reduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert sim.energy == b * (m * n - 1)
+
+    def test_snake_wins_for_huge_b_on_small_grid(self):
+        # Figure 13c: bandwidth-bound regime favours the snake.
+        grid = Grid(4, 4)
+        b = 2048
+        inputs = pe_inputs(16, b, seed=5)
+        snake = simulate(
+            snake_reduce_schedule(grid, b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        xy = simulate(
+            xy_reduce_schedule(grid, "chain", b),
+            inputs={k: v.copy() for k, v in inputs.items()},
+        )
+        assert snake.cycles < xy.cycles
