@@ -15,6 +15,23 @@ import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-mark everything under benchmarks/ with the `bench` marker.
+
+    This backs the fast test tier: `pytest -m "not bench"` skips the
+    figure regenerations, plain `pytest` still runs the full suite.
+    """
+    for item in items:
+        try:
+            path = pathlib.Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - exotic collectors
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
+
 
 @pytest.fixture(scope="session")
 def out_dir() -> pathlib.Path:

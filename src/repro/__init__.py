@@ -8,11 +8,15 @@ The package provides:
 * :mod:`repro.fabric` -- a cycle-level simulator of the WSE's 2D mesh;
 * :mod:`repro.collectives` -- schedule builders for every pattern in the
   paper (Star/Chain/Tree/Two-Phase/Auto-Gen/Ring/Snake/X-Y, broadcasts);
-* :mod:`repro.core` (re-exported as :data:`repro.wse`) -- the public
-  plan/execute API with the model-driven planner;
+* :mod:`repro.core` (re-exported as :data:`repro.wse`) -- the
+  spec-driven plan/execute pipeline: a frozen
+  :class:`~repro.core.registry.CollectiveSpec` is planned once through
+  the model-driven planner (``plan``), memoized in the plan cache, and
+  executed any number of times (``execute`` / ``run_many``);
 * :mod:`repro.timing` -- the clock-synchronization measurement
   methodology of Section 8.3;
-* :mod:`repro.bench` -- drivers regenerating every figure of Section 8.
+* :mod:`repro.bench` -- drivers regenerating every figure of Section 8
+  (all measured sweep points are batched through ``wse.run_many``).
 
 Quickstart::
 
@@ -23,15 +27,34 @@ Quickstart::
     out = wse.reduce(data)          # planner picks the algorithm
     assert np.allclose(out.result, data.sum(axis=0))
     print(out.algorithm, out.measured_cycles, out.predicted_cycles)
+
+Spec-level batching (one plan per distinct spec, cached across calls)::
+
+    from repro import CollectiveSpec, Grid, wse
+
+    spec = CollectiveSpec("allreduce", Grid(1, 64), 256)
+    steps = [np.random.default_rng(s).normal(size=(64, 256)) for s in range(8)]
+    outs = wse.run_many([spec] * 8, steps)   # planned once, executed 8x
 """
 
 from . import autogen, collectives, core, fabric, model
 from . import core as wse
-from .core import CollectiveOutcome, Plan, allreduce, broadcast, reduce
+from .core import (
+    PLAN_CACHE,
+    CollectiveOutcome,
+    CollectiveSpec,
+    Plan,
+    allreduce,
+    broadcast,
+    execute,
+    plan,
+    reduce,
+    run_many,
+)
 from .fabric import Grid, row_grid
 from .model import CS2, MachineParams
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "autogen",
@@ -41,7 +64,12 @@ __all__ = [
     "model",
     "wse",
     "CollectiveOutcome",
+    "CollectiveSpec",
     "Plan",
+    "plan",
+    "execute",
+    "run_many",
+    "PLAN_CACHE",
     "allreduce",
     "broadcast",
     "reduce",

@@ -6,6 +6,13 @@ PE count (Figures 11, 13a/b) and PE count at fixed 1 KB vectors
 algorithm and — where the cycle simulator is affordable — measured cycles,
 mirroring the paper's measured-vs-predicted presentation.
 
+Every *measured* point is expressed as a
+:class:`~repro.core.registry.CollectiveSpec` and the whole sweep is
+batched through :func:`repro.core.api.run_many`: each distinct spec is
+planned exactly once (and the plan is reused from the process-wide cache
+across sweeps and re-runs), then the simulations fan out point by point.
+Results are still verified against NumPy before being recorded.
+
 Full-wafer 512x512 measured runs are not feasible in a Python cycle
 simulator (the paper's own full-scale heatmaps are model-driven); the
 ``max_movements`` budget decides which points are simulated, and
@@ -16,20 +23,17 @@ substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..collectives.allreduce import allreduce_1d_schedule, allreduce_2d_schedule
-from ..collectives.broadcast import broadcast_2d_schedule, broadcast_row_schedule
-from ..collectives.reduce import reduce_1d_schedule
-from ..collectives.xy import snake_reduce_schedule, xy_reduce_schedule
 from ..core import registry
+from ..core.api import run_many
+from ..core.registry import CollectiveSpec
 from ..fabric.geometry import Grid
-from ..fabric.simulator import simulate
 from ..model import analytic
 from ..model.params import CS2, MachineParams
-from ..validation.verify import random_inputs, verify_allreduce, verify_broadcast, verify_reduce
+from ..validation.verify import ATOL, RTOL, random_inputs
 
 __all__ = [
     "VECTOR_LENGTH_BYTES",
@@ -117,6 +121,69 @@ def _movement_estimate(kind: str, algorithm: str, p: int, b: int) -> float:
     return 2.0 * float(b) * p  # chain / two-phase / autogen / snake
 
 
+class _MeasuredBatch:
+    """Accumulates the measured points of one sweep for a run_many call.
+
+    Points are registered in sweep order; :meth:`run` executes the whole
+    batch through :func:`run_many` (one plan per distinct spec), verifies
+    every outcome against the NumPy reference, and writes the measured
+    cycle counts back into the sweep's points.
+    """
+
+    def __init__(self) -> None:
+        self.specs: List[CollectiveSpec] = []
+        self.datas: List[np.ndarray] = []
+        self.points: List[SweepPoint] = []
+
+    def add(self, spec: CollectiveSpec, data: np.ndarray, point: SweepPoint) -> None:
+        self.specs.append(spec)
+        self.datas.append(data)
+        self.points.append(point)
+
+    def run(self) -> None:
+        if not self.specs:
+            return
+        outcomes = run_many(self.specs, self.datas)
+        for spec, data, point, out in zip(
+            self.specs, self.datas, self.points, outcomes
+        ):
+            expected = self._expected(spec, data)
+            if not np.allclose(out.result, expected, rtol=RTOL, atol=ATOL):
+                worst = np.abs(np.asarray(out.result) - expected).max()
+                raise AssertionError(
+                    f"{out.plan.schedule.name}: result off by {worst:.3e} "
+                    f"(B={spec.b}, PEs={spec.grid.size})"
+                )
+            point.measured_cycles = out.measured_cycles
+
+    @staticmethod
+    def _expected(spec: CollectiveSpec, data: np.ndarray) -> np.ndarray:
+        if spec.kind == "reduce":
+            return data.sum(axis=0)
+        if spec.kind == "allreduce":
+            total = data.sum(axis=0)
+            shape = (
+                (spec.grid.rows, spec.grid.cols, spec.b)
+                if spec.grid.rows > 1
+                else (spec.grid.cols, spec.b)
+            )
+            return np.broadcast_to(total, shape)
+        if spec.kind == "broadcast":
+            shape = (
+                (spec.grid.rows, spec.grid.cols, spec.b)
+                if spec.grid.rows > 1
+                else (spec.grid.cols, spec.b)
+            )
+            return np.broadcast_to(data, shape)
+        raise ValueError(f"no reference for kind {spec.kind!r}")
+
+
+def _stacked_inputs(n_pes: int, b: int, seed: int) -> np.ndarray:
+    """Reproducible per-PE input rows, stacked to ``(P, B)``."""
+    inputs = random_inputs(n_pes, b, seed=seed)
+    return np.stack([inputs[pe] for pe in range(n_pes)])
+
+
 def reduce_1d_sweep(
     pe_counts: Sequence[int],
     byte_lengths: Sequence[int],
@@ -128,21 +195,21 @@ def reduce_1d_sweep(
 ) -> SweepResult:
     """1D Reduce sweep over the cross-product of PEs and vector bytes."""
     result = SweepResult()
+    batch = _MeasuredBatch()
     for p in pe_counts:
         grid = Grid(1, p)
         for nbytes in byte_lengths:
             b = params.bytes_to_wavelets(nbytes)
             for alg in algorithms:
                 predicted = registry.reduce_1d_predict(alg, p, b, params)
-                measured = None
+                point = SweepPoint(alg, (p,), b, float(predicted))
                 if measure and _movement_estimate("reduce", alg, p, b) <= max_movements:
-                    sched = reduce_1d_schedule(grid, alg, b, params=params)
-                    inputs = random_inputs(p, b, seed=seed)
-                    sim = verify_reduce(sched, inputs, b, params=params)
-                    measured = sim.cycles
-                result.add(
-                    SweepPoint(alg, (p,), b, float(predicted), measured)
-                )
+                    spec = CollectiveSpec(
+                        "reduce", grid, b, algorithm=alg, params=params
+                    )
+                    batch.add(spec, _stacked_inputs(p, b, seed), point)
+                result.add(point)
+    batch.run()
     return result
 
 
@@ -159,6 +226,7 @@ def allreduce_1d_sweep(
 ) -> SweepResult:
     """1D AllReduce sweep; Ring points require B divisible by P."""
     result = SweepResult()
+    batch = _MeasuredBatch()
     for p in pe_counts:
         grid = Grid(1, p)
         for nbytes in byte_lengths:
@@ -167,15 +235,14 @@ def allreduce_1d_sweep(
                 if alg == "ring" and b % p != 0:
                     continue
                 predicted = registry.allreduce_1d_predict(alg, p, b, params)
-                measured = None
+                point = SweepPoint(alg, (p,), b, float(predicted))
                 if measure and _movement_estimate("allreduce", alg, p, b) <= max_movements:
-                    sched = allreduce_1d_schedule(grid, alg, b, params=params)
-                    inputs = random_inputs(p, b, seed=seed)
-                    sim = verify_allreduce(sched, inputs, b, params=params)
-                    measured = sim.cycles
-                result.add(
-                    SweepPoint(alg, (p,), b, float(predicted), measured)
-                )
+                    spec = CollectiveSpec(
+                        "allreduce", grid, b, algorithm=alg, params=params
+                    )
+                    batch.add(spec, _stacked_inputs(p, b, seed), point)
+                result.add(point)
+    batch.run()
     return result
 
 
@@ -189,18 +256,21 @@ def broadcast_1d_sweep(
 ) -> SweepResult:
     """1D flooding-broadcast sweep (Figures 11a, 12a)."""
     result = SweepResult()
+    batch = _MeasuredBatch()
     rng = np.random.default_rng(seed)
     for p in pe_counts:
         grid = Grid(1, p)
         for nbytes in byte_lengths:
             b = params.bytes_to_wavelets(nbytes)
             predicted = float(analytic.broadcast_1d_time(p, b, params))
-            measured = None
+            point = SweepPoint("flood", (p,), b, predicted)
             if measure and _movement_estimate("broadcast", "flood", p, b) <= max_movements:
-                sched = broadcast_row_schedule(grid, b)
-                sim = verify_broadcast(sched, rng.normal(size=b), params=params)
-                measured = sim.cycles
-            result.add(SweepPoint("flood", (p,), b, predicted, measured))
+                spec = CollectiveSpec(
+                    "broadcast", grid, b, algorithm="flood", params=params
+                )
+                batch.add(spec, rng.normal(size=b), point)
+            result.add(point)
+    batch.run()
     return result
 
 
@@ -217,25 +287,22 @@ def reduce_2d_sweep(
 ) -> SweepResult:
     """2D Reduce sweep over grid shapes (Figures 13a, 13c)."""
     result = SweepResult()
+    batch = _MeasuredBatch()
     for m, n in grids:
         grid = Grid(m, n)
         for nbytes in byte_lengths:
             b = params.bytes_to_wavelets(nbytes)
             for alg in algorithms:
                 predicted = registry.reduce_2d_predict(alg, m, n, b, params)
-                measured = None
+                point = SweepPoint(alg, (m, n), b, float(predicted))
                 cost = _movement_estimate("reduce", alg, m * n, b)
                 if measure and cost <= max_movements:
-                    if alg == "snake":
-                        sched = snake_reduce_schedule(grid, b, params=params)
-                    else:
-                        sched = xy_reduce_schedule(grid, alg, b, params=params)
-                    inputs = random_inputs(m * n, b, seed=seed)
-                    sim = verify_reduce(sched, inputs, b, params=params)
-                    measured = sim.cycles
-                result.add(
-                    SweepPoint(alg, (m, n), b, float(predicted), measured)
-                )
+                    spec = CollectiveSpec(
+                        "reduce", grid, b, algorithm=alg, params=params
+                    )
+                    batch.add(spec, _stacked_inputs(m * n, b, seed), point)
+                result.add(point)
+    batch.run()
     return result
 
 
@@ -252,22 +319,22 @@ def allreduce_2d_sweep(
 ) -> SweepResult:
     """2D AllReduce sweep: 2D Reduce + corner broadcast (Figure 13b)."""
     result = SweepResult()
+    batch = _MeasuredBatch()
     for m, n in grids:
         grid = Grid(m, n)
         for nbytes in byte_lengths:
             b = params.bytes_to_wavelets(nbytes)
             for alg in algorithms:
                 predicted = registry.allreduce_2d_predict(alg, m, n, b, params)
-                measured = None
+                point = SweepPoint(alg, (m, n), b, float(predicted))
                 cost = 2 * _movement_estimate("reduce", alg, m * n, b)
                 if measure and cost <= max_movements:
-                    sched = allreduce_2d_schedule(grid, alg, b, params=params)
-                    inputs = random_inputs(m * n, b, seed=seed)
-                    sim = verify_allreduce(sched, inputs, b, params=params)
-                    measured = sim.cycles
-                result.add(
-                    SweepPoint(alg, (m, n), b, float(predicted), measured)
-                )
+                    spec = CollectiveSpec(
+                        "allreduce", grid, b, algorithm=alg, params=params
+                    )
+                    batch.add(spec, _stacked_inputs(m * n, b, seed), point)
+                result.add(point)
+    batch.run()
     return result
 
 
@@ -281,16 +348,19 @@ def broadcast_2d_sweep(
 ) -> SweepResult:
     """2D corner-broadcast sweep (Lemma 7.1 validation)."""
     result = SweepResult()
+    batch = _MeasuredBatch()
     rng = np.random.default_rng(seed)
     for m, n in grids:
         grid = Grid(m, n)
         for nbytes in byte_lengths:
             b = params.bytes_to_wavelets(nbytes)
             predicted = float(analytic.broadcast_2d_time(m, n, b, params))
-            measured = None
+            point = SweepPoint("flood", (m, n), b, predicted)
             if measure and _movement_estimate("broadcast", "flood", m * n, b) <= max_movements:
-                sched = broadcast_2d_schedule(grid, b)
-                sim = verify_broadcast(sched, rng.normal(size=b), params=params)
-                measured = sim.cycles
-            result.add(SweepPoint("flood", (m, n), b, predicted, measured))
+                spec = CollectiveSpec(
+                    "broadcast", grid, b, algorithm="flood", params=params
+                )
+                batch.add(spec, rng.normal(size=b), point)
+            result.add(point)
+    batch.run()
     return result

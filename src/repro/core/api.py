@@ -1,6 +1,20 @@
-"""Public API: plan, simulate and verify wafer-scale collectives.
+"""Public API: one spec -> plan -> execute pipeline for every collective.
 
-The entry points mirror MPI semantics on simulated wafer state:
+Every collective — ``reduce``, ``allreduce``, ``broadcast``, ``gather``,
+``scatter``, ``allgather``, ``reduce_scatter`` — flows through the same
+three stages:
+
+1. a frozen :class:`~repro.core.registry.CollectiveSpec` describes the
+   invocation (kind, grid, B, op, algorithm, machine params);
+2. :func:`plan` resolves it against the algorithm registry — applying
+   the paper's model-driven planner for ``algorithm="auto"`` and
+   dropping infeasible candidates — into an immutable :class:`Plan`
+   (schedule + prediction), memoized in
+   :data:`~repro.core.cache.PLAN_CACHE`;
+3. :func:`execute` runs the plan's schedule on the cycle simulator and
+   extracts the collective's result.
+
+The MPI-flavoured entry points are thin wrappers over this pipeline:
 
 >>> import numpy as np
 >>> from repro import wse
@@ -8,7 +22,15 @@ The entry points mirror MPI semantics on simulated wafer state:
 >>> out = wse.reduce(data)                                   # model picks the algorithm
 >>> np.allclose(out.result, data.sum(axis=0))
 True
->>> out.algorithm, out.measured_cycles, out.predicted_cycles  # doctest: +SKIP
+
+and batched sweeps plan once per distinct spec:
+
+>>> from repro.core.registry import CollectiveSpec
+>>> from repro.fabric.geometry import Grid
+>>> spec = CollectiveSpec("reduce", Grid(1, 16), 64)
+>>> outs = wse.run_many([spec, spec], [data, 2 * data])      # one plan, two runs
+>>> np.allclose(outs[1].result, 2 * data.sum(axis=0))
+True
 
 ``algorithm="auto"`` applies the paper's model-driven planner; any
 registered name forces a specific pattern.
@@ -17,51 +39,23 @@ registered name forces a specific pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..collectives.allreduce import (
-    allreduce_1d_schedule,
-    allreduce_2d_schedule,
-    xy_allreduce_schedule,
-)
-from ..collectives.broadcast import broadcast_2d_schedule, broadcast_row_schedule
-from ..collectives.distribution import (
-    allgather_schedule,
-    gather_schedule,
-    reduce_scatter_schedule,
-    scatter_schedule,
-)
-from ..collectives.reduce import reduce_1d_schedule
-from ..collectives.xy import snake_reduce_schedule, xy_reduce_schedule
 from ..fabric.geometry import Grid
 from ..fabric.ir import Schedule
 from ..fabric.simulator import SimResult, simulate
-from ..model.analytic import (
-    allgather_time,
-    broadcast_1d_time,
-    broadcast_2d_time,
-    gather_time,
-    reduce_scatter_time,
-    scatter_time,
-)
 from ..model.params import CS2, MachineParams
 from . import planner, registry
+from .cache import PLAN_CACHE
+from .registry import REDUCE_OPS, CollectiveSpec
 
-__all__ = ["CollectiveOutcome", "Plan", "plan_reduce", "plan_allreduce",
+__all__ = ["CollectiveSpec", "CollectiveOutcome", "Plan",
+           "plan", "execute", "run_many",
+           "plan_reduce", "plan_allreduce",
            "reduce", "allreduce", "broadcast", "gather", "scatter",
            "allgather", "reduce_scatter", "REDUCE_OPS"]
-
-#: Supported associative reduction operators ("sum" uses the simulator's
-#: fast path; the others are any-associative-op per the MPI semantics the
-#: paper adopts in §2.1).
-REDUCE_OPS = {
-    "sum": None,
-    "max": max,
-    "min": min,
-    "prod": lambda a, b: a * b,
-}
 
 
 def _combine_for(op: str):
@@ -75,8 +69,14 @@ def _combine_for(op: str):
 
 @dataclass(frozen=True)
 class Plan:
-    """A planned collective: schedule plus its model prediction."""
+    """A planned collective: spec, schedule and its model prediction.
 
+    Plans are immutable and shareable — :func:`execute` never mutates the
+    schedule (the simulator copies router rules and op lists), which is
+    what makes the plan cache sound.
+    """
+
+    spec: CollectiveSpec
     schedule: Schedule
     algorithm: str
     grid: Grid
@@ -104,6 +104,70 @@ class CollectiveOutcome:
         return abs(self.measured_cycles - self.predicted_cycles) / self.measured_cycles
 
 
+# ---------------------------------------------------------------------------
+# plan(spec) -> Plan
+# ---------------------------------------------------------------------------
+
+
+def _plan_uncached(spec: CollectiveSpec) -> Plan:
+    """Resolve ``spec`` against the registry without touching the cache."""
+    entries = registry.entries_for(spec.kind, spec.dims)
+    if not entries:
+        raise ValueError(
+            f"no registered {spec.dims}D {spec.kind} algorithms"
+        )
+    choice: Optional[planner.Choice] = None
+    if spec.algorithm == "auto":
+        if len(entries) == 1:
+            name = next(iter(entries))
+        else:
+            choice = planner.rank_spec(spec)
+            name = choice.algorithm
+    else:
+        name = spec.algorithm
+        if name not in entries:
+            raise ValueError(
+                f"unknown {spec.dims}D {spec.kind} algorithm {name!r}"
+            )
+        if len(entries) > 1:
+            # Keep the full ranking alongside forced picks so callers can
+            # inspect what the planner would have chosen.
+            try:
+                choice = planner.rank_spec(spec)
+            except ValueError:
+                choice = None
+    entry = entries[name]
+    resolved = spec.with_algorithm(name)
+    why = entry.why_infeasible(resolved)
+    if why is not None:
+        raise ValueError(why)
+    return Plan(
+        spec=spec,
+        schedule=entry.build(resolved),
+        algorithm=name,
+        grid=spec.grid,
+        b=spec.b,
+        predicted_cycles=entry.predict(resolved),
+        choice=choice,
+    )
+
+
+def plan(spec: CollectiveSpec, use_cache: bool = True) -> Plan:
+    """Plan ``spec``: registry lookup, planner ranking, schedule build.
+
+    Planning is memoized in :data:`~repro.core.cache.PLAN_CACHE` keyed by
+    the spec itself; pass ``use_cache=False`` to force a fresh build.
+    """
+    if not use_cache:
+        return _plan_uncached(spec)
+    return PLAN_CACHE.get_or_plan(spec, _plan_uncached)
+
+
+# ---------------------------------------------------------------------------
+# execute(plan, data) -> CollectiveOutcome
+# ---------------------------------------------------------------------------
+
+
 def _as_grid_data(data: np.ndarray) -> Tuple[Grid, int, np.ndarray]:
     """Normalize input to (grid, b, flat (P, B) array).
 
@@ -122,6 +186,135 @@ def _as_grid_data(data: np.ndarray) -> Tuple[Grid, int, np.ndarray]:
     )
 
 
+def _flat_rows(spec: CollectiveSpec, data: np.ndarray) -> np.ndarray:
+    """Validate per-PE row input against the spec; returns ``(P, B)``."""
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 3:
+        arr = arr.reshape(arr.shape[0] * arr.shape[1], arr.shape[2])
+    if arr.ndim != 2 or arr.shape != (spec.grid.size, spec.b):
+        raise ValueError(
+            f"data shape {np.shape(data)} does not match spec "
+            f"({spec.grid.rows}x{spec.grid.cols} PEs, B={spec.b})"
+        )
+    return arr
+
+
+def _prepare_inputs(
+    spec: CollectiveSpec, data: np.ndarray
+) -> Dict[int, np.ndarray]:
+    """Per-PE input buffers for the simulator, per collective kind."""
+    kind = spec.kind
+    if kind in ("reduce", "allreduce", "gather", "reduce_scatter"):
+        flat = _flat_rows(spec, data)
+        return {pe: flat[pe].copy() for pe in range(flat.shape[0])}
+    if kind == "broadcast":
+        vector = np.asarray(data, dtype=np.float64)
+        if vector.ndim != 1 or len(vector) != spec.b:
+            raise ValueError(
+                f"broadcast data must be a B={spec.b} vector, "
+                f"got shape {np.shape(data)}"
+            )
+        return {0: vector.copy()}
+    if kind == "scatter":
+        blocks = _flat_rows(spec, data)
+        return {0: blocks.reshape(-1).copy()}
+    if kind == "allgather":
+        flat = _flat_rows(spec, data)
+        p, b = flat.shape
+        inputs = {}
+        for pe in range(p):
+            buf = np.zeros(p * b)
+            buf[pe * b : (pe + 1) * b] = flat[pe]
+            inputs[pe] = buf
+        return inputs
+    raise ValueError(f"unknown collective kind {kind!r}")
+
+
+def _extract_result(spec: CollectiveSpec, sim: SimResult) -> np.ndarray:
+    """Pull the collective's defined output out of the simulated buffers."""
+    kind, b = spec.kind, spec.b
+    grid = spec.grid
+    grid_shape = (grid.rows, grid.cols, b) if grid.rows > 1 else (grid.cols, b)
+    if kind == "reduce":
+        return sim.buffers[0][:b].copy()
+    if kind in ("allreduce", "broadcast"):
+        result = np.stack([sim.buffers[pe][:b] for pe in range(grid.size)])
+        return result.reshape(grid_shape)
+    if kind == "gather":
+        p = grid.size
+        return sim.buffers[0][: p * b].reshape(p, b).copy()
+    if kind == "scatter":
+        return np.stack([sim.buffers[pe][:b] for pe in range(grid.size)])
+    if kind == "allgather":
+        p = grid.size
+        return np.stack(
+            [sim.buffers[pe][: p * b].reshape(p, b) for pe in range(p)]
+        )
+    if kind == "reduce_scatter":
+        p = grid.size
+        chunk = b // p
+        return np.stack(
+            [sim.buffers[pe][pe * chunk : (pe + 1) * chunk] for pe in range(p)]
+        )
+    raise ValueError(f"unknown collective kind {kind!r}")
+
+
+def execute(plan: Plan, data: np.ndarray) -> CollectiveOutcome:
+    """Run a planned collective on the fabric simulator.
+
+    ``data`` is the collective's natural input: per-PE rows ``(P, B)`` or
+    a grid ``(M, N, B)`` for the reducing/gathering kinds, root-held
+    blocks for ``scatter``, a single ``B``-vector for ``broadcast``.  The
+    plan's schedule is treated as read-only, so one plan can serve any
+    number of executions.
+    """
+    spec = plan.spec
+    sim = simulate(
+        plan.schedule,
+        inputs=_prepare_inputs(spec, data),
+        params=spec.params,
+        combine=_combine_for(spec.op),
+    )
+    return CollectiveOutcome(
+        result=_extract_result(spec, sim),
+        algorithm=plan.algorithm,
+        predicted_cycles=plan.predicted_cycles,
+        measured_cycles=sim.cycles,
+        sim=sim,
+        plan=plan,
+    )
+
+
+def run_many(
+    specs: Sequence[CollectiveSpec],
+    datas: Sequence[np.ndarray],
+    use_cache: bool = True,
+) -> List[CollectiveOutcome]:
+    """Execute a batch of collectives, planning once per distinct spec.
+
+    ``specs[i]`` runs on ``datas[i]``.  Identical specs — repeated sweep
+    points, every step of a training loop — share a single plan (and hit
+    :data:`~repro.core.cache.PLAN_CACHE` across calls), so the sweep
+    cost is one plan per distinct spec plus one simulation per point.
+    """
+    specs = list(specs)
+    datas = list(datas)
+    if len(specs) != len(datas):
+        raise ValueError(
+            f"got {len(specs)} specs but {len(datas)} data arrays"
+        )
+    plans: Dict[CollectiveSpec, Plan] = {}
+    for spec in specs:
+        if spec not in plans:
+            plans[spec] = plan(spec, use_cache=use_cache)
+    return [execute(plans[spec], data) for spec, data in zip(specs, datas)]
+
+
+# ---------------------------------------------------------------------------
+# MPI-flavoured wrappers (all thin shims over plan/execute).
+# ---------------------------------------------------------------------------
+
+
 def plan_reduce(
     grid: Grid,
     b: int,
@@ -129,33 +322,8 @@ def plan_reduce(
     params: MachineParams = CS2,
 ) -> Plan:
     """Plan a Reduce to PE (0, 0) on ``grid`` for ``b``-wavelet vectors."""
-    if grid.rows == 1:
-        choice = planner.best_reduce_1d(grid.cols, b, params)
-        name = choice.algorithm if algorithm == "auto" else algorithm
-        if name not in registry.REDUCE_1D:
-            raise ValueError(f"unknown 1D reduce algorithm {name!r}")
-        schedule = reduce_1d_schedule(grid, name, b, params=params)
-        predicted = registry.reduce_1d_predict(name, grid.cols, b, params)
-    else:
-        choice = planner.best_reduce_2d(grid.rows, grid.cols, b, params)
-        name = choice.algorithm if algorithm == "auto" else algorithm
-        if name not in registry.REDUCE_2D:
-            raise ValueError(f"unknown 2D reduce algorithm {name!r}")
-        if name == "snake":
-            schedule = snake_reduce_schedule(grid, b, params=params)
-        else:
-            schedule = xy_reduce_schedule(grid, name, b, params=params)
-        predicted = registry.reduce_2d_predict(
-            name, grid.rows, grid.cols, b, params
-        )
-    return Plan(
-        schedule=schedule,
-        algorithm=name,
-        grid=grid,
-        b=b,
-        predicted_cycles=predicted,
-        choice=choice,
-    )
+    return plan(CollectiveSpec("reduce", grid, b, algorithm=algorithm,
+                               params=params))
 
 
 def plan_allreduce(
@@ -170,71 +338,8 @@ def plan_allreduce(
     For 2D grids, ``xy=True`` uses the row-then-column AllReduce
     composition instead of the default Reduce + 2D Broadcast (§7.4).
     """
-    if grid.rows == 1:
-        choice = planner.best_allreduce_1d(grid.cols, b, params)
-        name = choice.algorithm if algorithm == "auto" else algorithm
-        if name not in registry.ALLREDUCE_1D:
-            raise ValueError(f"unknown 1D allreduce algorithm {name!r}")
-        schedule = allreduce_1d_schedule(grid, name, b, params=params)
-        predicted = registry.allreduce_1d_predict(name, grid.cols, b, params)
-    else:
-        choice = planner.best_allreduce_2d(grid.rows, grid.cols, b, params)
-        name = choice.algorithm if algorithm == "auto" else algorithm
-        if xy:
-            if name == "snake":
-                raise ValueError(
-                    "the snake is a whole-grid pattern and cannot be used "
-                    "as the per-row/per-column algorithm of an X-Y "
-                    "AllReduce; pick a 1D pattern or use xy=False"
-                )
-            schedule = xy_allreduce_schedule(grid, name, b, params=params)
-            predicted = float(
-                registry.allreduce_1d_predict(name, grid.cols, b, params)
-                + registry.allreduce_1d_predict(name, grid.rows, b, params)
-            )
-        else:
-            if name not in registry.ALLREDUCE_2D:
-                raise ValueError(f"unknown 2D allreduce algorithm {name!r}")
-            schedule = allreduce_2d_schedule(grid, name, b, params=params)
-            predicted = registry.allreduce_2d_predict(
-                name, grid.rows, grid.cols, b, params
-            )
-    return Plan(
-        schedule=schedule,
-        algorithm=name,
-        grid=grid,
-        b=b,
-        predicted_cycles=predicted,
-        choice=choice,
-    )
-
-
-def _execute(
-    plan: Plan,
-    flat: np.ndarray,
-    params: MachineParams,
-    collect: str,
-    op: str = "sum",
-) -> CollectiveOutcome:
-    inputs = {pe: flat[pe].copy() for pe in range(flat.shape[0])}
-    sim = simulate(
-        plan.schedule, inputs=inputs, params=params, combine=_combine_for(op)
-    )
-    b = plan.b
-    if collect == "root":
-        result = sim.buffers[0][:b].copy()
-    else:  # every PE
-        result = np.stack(
-            [sim.buffers[pe][:b] for pe in range(flat.shape[0])]
-        )
-    return CollectiveOutcome(
-        result=result,
-        algorithm=plan.algorithm,
-        predicted_cycles=plan.predicted_cycles,
-        measured_cycles=sim.cycles,
-        sim=sim,
-        plan=plan,
-    )
+    return plan(CollectiveSpec("allreduce", grid, b, algorithm=algorithm,
+                               params=params, xy=xy and grid.rows > 1))
 
 
 def reduce(
@@ -250,8 +355,9 @@ def reduce(
     the associative operator (:data:`REDUCE_OPS`).
     """
     grid, b, flat = _as_grid_data(data)
-    plan = plan_reduce(grid, b, algorithm, params)
-    return _execute(plan, flat, params, collect="root", op=op)
+    spec = CollectiveSpec("reduce", grid, b, op=op, algorithm=algorithm,
+                          params=params)
+    return execute(plan(spec), flat)
 
 
 def allreduce(
@@ -268,24 +374,9 @@ def allreduce(
     any associative op as well, since chunks are combined pairwise.
     """
     grid, b, flat = _as_grid_data(data)
-    if algorithm == "ring" and grid.rows == 1 and b % grid.cols != 0:
-        raise ValueError(
-            f"ring requires B divisible by P (B={b}, P={grid.cols}); "
-            "pad the vector or choose another algorithm"
-        )
-    plan = plan_allreduce(grid, b, algorithm, params, xy=xy)
-    out = _execute(plan, flat, params, collect="all", op=op)
-    result = out.result.reshape(
-        (grid.rows, grid.cols, b) if grid.rows > 1 else (grid.cols, b)
-    )
-    return CollectiveOutcome(
-        result=result,
-        algorithm=out.algorithm,
-        predicted_cycles=out.predicted_cycles,
-        measured_cycles=out.measured_cycles,
-        sim=out.sim,
-        plan=out.plan,
-    )
+    spec = CollectiveSpec("allreduce", grid, b, op=op, algorithm=algorithm,
+                          params=params, xy=xy and grid.rows > 1)
+    return execute(plan(spec), flat)
 
 
 def gather(
@@ -301,20 +392,8 @@ def gather(
     if data.ndim != 2:
         raise ValueError(f"gather takes (P, B) input, got shape {data.shape}")
     p, b = data.shape
-    grid = Grid(1, p)
-    schedule = gather_schedule(grid, b)
-    inputs = {pe: data[pe].copy() for pe in range(p)}
-    sim = simulate(schedule, inputs=inputs, params=params)
-    plan = Plan(schedule=schedule, algorithm="gather", grid=grid, b=b,
-                predicted_cycles=float(gather_time(p, b, params)))
-    return CollectiveOutcome(
-        result=sim.buffers[0][: p * b].reshape(p, b).copy(),
-        algorithm="gather",
-        predicted_cycles=plan.predicted_cycles,
-        measured_cycles=sim.cycles,
-        sim=sim,
-        plan=plan,
-    )
+    spec = CollectiveSpec("gather", Grid(1, p), b, params=params)
+    return execute(plan(spec), data)
 
 
 def scatter(
@@ -326,22 +405,8 @@ def scatter(
     if blocks.ndim != 2:
         raise ValueError(f"scatter takes (P, B) blocks, got {blocks.shape}")
     p, b = blocks.shape
-    grid = Grid(1, p)
-    schedule = scatter_schedule(grid, b)
-    sim = simulate(
-        schedule, inputs={0: blocks.reshape(-1).copy()}, params=params
-    )
-    plan = Plan(schedule=schedule, algorithm="scatter", grid=grid, b=b,
-                predicted_cycles=float(scatter_time(p, b, params)))
-    result = np.stack([sim.buffers[pe][:b] for pe in range(p)])
-    return CollectiveOutcome(
-        result=result,
-        algorithm="scatter",
-        predicted_cycles=plan.predicted_cycles,
-        measured_cycles=sim.cycles,
-        sim=sim,
-        plan=plan,
-    )
+    spec = CollectiveSpec("scatter", Grid(1, p), b, params=params)
+    return execute(plan(spec), blocks)
 
 
 def allgather(
@@ -356,29 +421,8 @@ def allgather(
     if data.ndim != 2:
         raise ValueError(f"allgather takes (P, B) input, got {data.shape}")
     p, b = data.shape
-    if p < 2:
-        raise ValueError("allgather needs at least 2 PEs")
-    grid = Grid(1, p)
-    schedule = allgather_schedule(grid, b)
-    inputs = {}
-    for pe in range(p):
-        buf = np.zeros(p * b)
-        buf[pe * b : (pe + 1) * b] = data[pe]
-        inputs[pe] = buf
-    sim = simulate(schedule, inputs=inputs, params=params)
-    plan = Plan(schedule=schedule, algorithm="allgather", grid=grid, b=b,
-                predicted_cycles=float(allgather_time(p, b, params)))
-    result = np.stack(
-        [sim.buffers[pe][: p * b].reshape(p, b) for pe in range(p)]
-    )
-    return CollectiveOutcome(
-        result=result,
-        algorithm="allgather",
-        predicted_cycles=plan.predicted_cycles,
-        measured_cycles=sim.cycles,
-        sim=sim,
-        plan=plan,
-    )
+    spec = CollectiveSpec("allgather", Grid(1, p), b, params=params)
+    return execute(plan(spec), data)
 
 
 def reduce_scatter(
@@ -394,30 +438,9 @@ def reduce_scatter(
     if data.ndim != 2:
         raise ValueError(f"reduce_scatter takes (P, B) input, got {data.shape}")
     p, b = data.shape
-    if p < 2:
-        raise ValueError("reduce_scatter needs at least 2 PEs")
-    if b % p != 0:
-        raise ValueError(f"B={b} must be divisible by P={p}")
-    grid = Grid(1, p)
-    schedule = reduce_scatter_schedule(grid, b)
-    inputs = {pe: data[pe].copy() for pe in range(p)}
-    sim = simulate(
-        schedule, inputs=inputs, params=params, combine=_combine_for(op)
-    )
-    chunk = b // p
-    plan = Plan(schedule=schedule, algorithm="reduce_scatter", grid=grid, b=b,
-                predicted_cycles=float(reduce_scatter_time(p, b, params)))
-    result = np.stack(
-        [sim.buffers[pe][pe * chunk : (pe + 1) * chunk] for pe in range(p)]
-    )
-    return CollectiveOutcome(
-        result=result,
-        algorithm="reduce_scatter",
-        predicted_cycles=plan.predicted_cycles,
-        measured_cycles=sim.cycles,
-        sim=sim,
-        plan=plan,
-    )
+    spec = CollectiveSpec("reduce_scatter", Grid(1, p), b, op=op,
+                          params=params)
+    return execute(plan(spec), data)
 
 
 def broadcast(
@@ -429,28 +452,5 @@ def broadcast(
     vector = np.asarray(vector, dtype=np.float64)
     if vector.ndim != 1:
         raise ValueError(f"broadcast takes a 1D vector, got {vector.shape}")
-    b = len(vector)
-    if grid.rows == 1:
-        schedule = broadcast_row_schedule(grid, b)
-        predicted = float(broadcast_1d_time(grid.cols, b, params))
-    else:
-        schedule = broadcast_2d_schedule(grid, b)
-        predicted = float(broadcast_2d_time(grid.rows, grid.cols, b, params))
-    plan = Plan(
-        schedule=schedule,
-        algorithm="flood",
-        grid=grid,
-        b=b,
-        predicted_cycles=predicted,
-    )
-    sim = simulate(schedule, inputs={0: vector.copy()}, params=params)
-    result = np.stack([sim.buffers[pe][:b] for pe in range(grid.size)])
-    shape = (grid.rows, grid.cols, b) if grid.rows > 1 else (grid.cols, b)
-    return CollectiveOutcome(
-        result=result.reshape(shape),
-        algorithm="flood",
-        predicted_cycles=predicted,
-        measured_cycles=sim.cycles,
-        sim=sim,
-        plan=plan,
-    )
+    spec = CollectiveSpec("broadcast", grid, len(vector), params=params)
+    return execute(plan(spec), vector)

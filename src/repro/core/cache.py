@@ -1,0 +1,108 @@
+"""Keyed plan cache: plan a spec once, execute it many times.
+
+Planning a collective is pure — the schedule, the prediction and the
+planner ranking depend only on the :class:`~repro.core.registry.
+CollectiveSpec` — and the cycle simulator never mutates a schedule (it
+copies router rules and op lists into its own per-PE state).  Schedules
+are therefore treated as immutable once built, and the frozen, hashable
+spec itself is the cache key: two specs differing in any field
+(including distinct :class:`~repro.model.params.MachineParams`) key
+separately, while repeated identical specs — a B-sweep re-measuring the
+same point, a training loop allreducing the same gradient shape every
+step — reuse one plan.
+
+:data:`PLAN_CACHE` is the process-wide default used by
+:func:`repro.core.api.plan` and :func:`repro.core.api.run_many`;
+independent caches can be instantiated for isolation (tests do).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .api import Plan
+    from .registry import CollectiveSpec
+
+__all__ = ["PlanCache", "PLAN_CACHE"]
+
+
+class PlanCache:
+    """An LRU-evicting map from :class:`CollectiveSpec` to its plan.
+
+    ``maxsize=None`` (the default) never evicts.  All operations are
+    guarded by a lock so concurrent drivers can share one cache; the
+    builder runs outside the lock, so a race may plan the same spec
+    twice, but both results are identical and the first stays cached.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._plans: "OrderedDict[CollectiveSpec, Plan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, spec: "CollectiveSpec") -> bool:
+        with self._lock:
+            return spec in self._plans
+
+    def lookup(self, spec: "CollectiveSpec") -> Optional["Plan"]:
+        """The cached plan for ``spec``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            plan = self._plans.get(spec)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(spec)
+            self.hits += 1
+            return plan
+
+    def get_or_plan(
+        self,
+        spec: "CollectiveSpec",
+        planner: Callable[["CollectiveSpec"], "Plan"],
+    ) -> "Plan":
+        """The cached plan for ``spec``, planning and storing on a miss."""
+        plan = self.lookup(spec)
+        if plan is not None:
+            return plan
+        plan = planner(spec)
+        self.store(spec, plan)
+        return plan
+
+    def store(self, spec: "CollectiveSpec", plan: "Plan") -> None:
+        """Insert ``plan`` under ``spec``, evicting LRU past ``maxsize``."""
+        with self._lock:
+            if spec not in self._plans and self.maxsize is not None:
+                while len(self._plans) >= self.maxsize:
+                    self._plans.popitem(last=False)
+            self._plans[spec] = plan
+            self._plans.move_to_end(spec)
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the hit/miss counters."""
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reports and tests: size, hits, misses."""
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+#: Process-wide default plan cache (unbounded).
+PLAN_CACHE = PlanCache()

@@ -3,6 +3,13 @@
 The planner evaluates every registered algorithm's Equation-(1) prediction
 and picks the fastest — the paper's central methodology: "Analytically, we
 can determine the best choice of algorithm for a given B and P."
+
+:func:`rank_spec` is the spec-native entry point used by the plan/execute
+pipeline: it walks the :data:`repro.core.registry.COLLECTIVES` entries of
+the spec's ``(kind, dims)`` family, drops candidates whose
+``feasible(spec)`` is false (e.g. the Ring when ``B % P != 0``), and
+ranks the survivors.  The positional helpers (:func:`best_reduce_1d`
+etc.) are thin wrappers kept for the benches and notebooks.
 """
 
 from __future__ import annotations
@@ -10,11 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Tuple
 
+from ..fabric.geometry import Grid
 from ..model.params import CS2, MachineParams
 from . import registry
+from .registry import CollectiveSpec
 
-__all__ = ["Choice", "best_reduce_1d", "best_allreduce_1d", "best_reduce_2d",
-           "best_allreduce_2d", "rank_algorithms"]
+__all__ = ["Choice", "rank_spec", "best_reduce_1d", "best_allreduce_1d",
+           "best_reduce_2d", "best_allreduce_2d", "rank_algorithms"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,38 @@ def _choose(candidates: Dict[str, float]) -> Choice:
     )
 
 
+def rank_spec(
+    spec: CollectiveSpec,
+    include: Iterable[str] | None = None,
+) -> Choice:
+    """Rank every feasible registered algorithm for ``spec``.
+
+    Candidates whose :meth:`CollectiveEntry.feasible` rejects the spec
+    are dropped *before* choosing, so ``algorithm="auto"`` can never
+    select a plan whose schedule cannot be built.  Raises ``ValueError``
+    when no candidate survives.
+    """
+    entries = registry.entries_for(spec.kind, spec.dims)
+    names = tuple(include) if include is not None else tuple(entries)
+    candidates: Dict[str, float] = {}
+    for name in names:
+        entry = entries.get(name)
+        if entry is None:
+            raise ValueError(
+                f"unknown {spec.dims}D {spec.kind} algorithm {name!r}"
+            )
+        resolved = spec.with_algorithm(name)
+        if not entry.feasible(resolved):
+            continue
+        candidates[name] = entry.predict(resolved)
+    if not candidates:
+        raise ValueError(
+            f"no feasible {spec.dims}D {spec.kind} algorithm for "
+            f"grid {spec.grid.rows}x{spec.grid.cols}, B={spec.b}"
+        )
+    return _choose(candidates)
+
+
 def best_reduce_1d(
     p: int,
     b: int,
@@ -50,9 +91,8 @@ def best_reduce_1d(
     include: Iterable[str] | None = None,
 ) -> Choice:
     """Fastest predicted 1D Reduce algorithm for ``(P, B)``."""
-    names = tuple(include) if include else tuple(registry.REDUCE_1D)
-    return _choose(
-        {n: registry.reduce_1d_predict(n, p, b, params) for n in names}
+    return rank_spec(
+        CollectiveSpec("reduce", Grid(1, p), b, params=params), include
     )
 
 
@@ -62,10 +102,13 @@ def best_allreduce_1d(
     params: MachineParams = CS2,
     include: Iterable[str] | None = None,
 ) -> Choice:
-    """Fastest predicted 1D AllReduce algorithm (Figure 8's regions)."""
-    names = tuple(include) if include else tuple(registry.ALLREDUCE_1D)
-    return _choose(
-        {n: registry.allreduce_1d_predict(n, p, b, params) for n in names}
+    """Fastest predicted 1D AllReduce algorithm (Figure 8's regions).
+
+    Infeasible candidates (the Ring when ``B % P != 0``) are dropped
+    before ranking rather than surfacing as unbuildable plans.
+    """
+    return rank_spec(
+        CollectiveSpec("allreduce", Grid(1, p), b, params=params), include
     )
 
 
@@ -77,9 +120,8 @@ def best_reduce_2d(
     include: Iterable[str] | None = None,
 ) -> Choice:
     """Fastest predicted 2D Reduce algorithm for an ``M x N`` grid."""
-    names = tuple(include) if include else tuple(registry.REDUCE_2D)
-    return _choose(
-        {k: registry.reduce_2d_predict(k, m, n, b, params) for k in names}
+    return rank_spec(
+        CollectiveSpec("reduce", Grid(m, n), b, params=params), include
     )
 
 
@@ -91,9 +133,8 @@ def best_allreduce_2d(
     include: Iterable[str] | None = None,
 ) -> Choice:
     """Fastest predicted 2D AllReduce algorithm (Figure 10's regions)."""
-    names = tuple(include) if include else tuple(registry.ALLREDUCE_2D)
-    return _choose(
-        {k: registry.allreduce_2d_predict(k, m, n, b, params) for k in names}
+    return rank_spec(
+        CollectiveSpec("allreduce", Grid(m, n), b, params=params), include
     )
 
 

@@ -458,17 +458,18 @@ def lower_bound_2d_time(
     """2D Reduce lower bound (Lemma 7.2):
 
     .. math::
-       T^\\star \\ge \\max\\left(B, \\tfrac{B}{8} + M + N - 1\\right)
+       T^\\star \\ge \\max\\left(B, \\tfrac{B}{8} + M + N - 2\\right)
                  + 2T_R + 1
 
     Contention at the root is at least ``B``; energy is at least ``P B``
     over at most ``8 P`` link-directions; distance is at least
-    ``M + N - 1``.
+    ``M + N - 2``, the Manhattan eccentricity of the corner root (the
+    1D specialization ``M = 1`` recovers the row bound's ``P - 1``).
     """
     m = np.asarray(m, dtype=float)
     n = np.asarray(n, dtype=float)
     b = np.asarray(b, dtype=float)
-    t = np.maximum(b, b / 8.0 + m + n - 1) + _depth_cycles(params)
+    t = np.maximum(b, b / 8.0 + m + n - 2) + _depth_cycles(params)
     return np.where(m * n <= 1, 0.0, t)[()]
 
 

@@ -1,0 +1,189 @@
+"""Tests for the plan cache and the batched run_many execution path."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import CollectiveSpec, Grid, wse
+from repro.core import api
+from repro.core.cache import PLAN_CACHE, PlanCache
+from repro.model.params import CS2
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test from plans cached by earlier tests."""
+    PLAN_CACHE.clear()
+    yield
+    PLAN_CACHE.clear()
+
+
+class TestHitMissAccounting:
+    def test_repeated_identical_specs_hit(self):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 32)
+        p1 = wse.plan(spec)
+        p2 = wse.plan(spec)
+        p3 = wse.plan(CollectiveSpec("reduce", Grid(1, 8), 32))
+        assert p1 is p2 is p3
+        assert PLAN_CACHE.stats() == {"size": 1, "hits": 2, "misses": 1}
+
+    def test_wrappers_share_the_cache(self, rng):
+        data = rng.normal(size=(8, 32))
+        out1 = wse.reduce(data, algorithm="tree")
+        out2 = wse.reduce(2 * data, algorithm="tree")
+        assert out1.plan is out2.plan
+        assert PLAN_CACHE.hits == 1
+        assert np.allclose(out2.result, 2 * data.sum(axis=0))
+
+    def test_distinct_fields_key_separately(self):
+        base = CollectiveSpec("allreduce", Grid(1, 8), 32)
+        for other in [
+            CollectiveSpec("allreduce", Grid(1, 8), 64),
+            CollectiveSpec("allreduce", Grid(1, 16), 32),
+            CollectiveSpec("allreduce", Grid(1, 8), 32, algorithm="chain"),
+            CollectiveSpec("allreduce", Grid(1, 8), 32, op="max"),
+        ]:
+            wse.plan(base)
+            wse.plan(other)
+        assert PLAN_CACHE.misses == 5  # base + 4 distinct variants
+        assert PLAN_CACHE.stats()["size"] == 5
+
+    def test_distinct_params_objects_key_separately(self):
+        slow = CS2.with_ramp_latency(7)
+        spec_cs2 = CollectiveSpec("reduce", Grid(1, 8), 32, algorithm="chain")
+        spec_slow = CollectiveSpec(
+            "reduce", Grid(1, 8), 32, algorithm="chain", params=slow
+        )
+        p1 = wse.plan(spec_cs2)
+        p2 = wse.plan(spec_slow)
+        assert p1 is not p2
+        assert p2.predicted_cycles > p1.predicted_cycles
+        assert PLAN_CACHE.stats() == {"size": 2, "hits": 0, "misses": 2}
+
+    def test_equal_valued_params_share_an_entry(self):
+        # MachineParams is a frozen value type: an equal copy is the same key.
+        from repro.model.params import MachineParams
+
+        p1 = wse.plan(CollectiveSpec("reduce", Grid(1, 8), 32))
+        p2 = wse.plan(
+            CollectiveSpec("reduce", Grid(1, 8), 32, params=MachineParams())
+        )
+        assert p1 is p2
+
+    def test_use_cache_false_bypasses(self):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 32)
+        p1 = wse.plan(spec, use_cache=False)
+        p2 = wse.plan(spec, use_cache=False)
+        assert p1 is not p2
+        assert PLAN_CACHE.stats() == {"size": 0, "hits": 0, "misses": 0}
+
+
+class TestCachedPlansStayFrozen:
+    def test_schedule_unmutated_by_simulation(self, rng):
+        spec = CollectiveSpec("allreduce", Grid(1, 6), 12, algorithm="ring")
+        plan = wse.plan(spec)
+        snapshot = copy.deepcopy(plan.schedule.programs)
+        data = rng.normal(size=(6, 12))
+        wse.execute(plan, data)
+        assert plan.schedule.programs == snapshot
+
+    def test_reexecution_is_deterministic(self, rng):
+        spec = CollectiveSpec("reduce", Grid(2, 3), 8, algorithm="two_phase")
+        plan = wse.plan(spec)
+        data = rng.normal(size=(2, 3, 8))
+        runs = [wse.execute(plan, data) for _ in range(2)]
+        assert runs[0].measured_cycles == runs[1].measured_cycles
+        assert np.allclose(runs[0].result, runs[1].result)
+        assert np.allclose(runs[0].result, data.sum(axis=(0, 1)))
+
+
+class TestRunMany:
+    def test_plans_once_per_distinct_spec(self, rng):
+        a = CollectiveSpec("reduce", Grid(1, 8), 16, algorithm="chain")
+        b = CollectiveSpec("reduce", Grid(1, 8), 16, algorithm="star")
+        datas = [rng.normal(size=(8, 16)) for _ in range(4)]
+        outs = wse.run_many([a, a, b, a], datas)
+        assert PLAN_CACHE.misses == 2 and PLAN_CACHE.hits == 0
+        assert outs[0].plan is outs[1].plan is outs[3].plan
+        for out, data in zip(outs, datas):
+            assert np.allclose(out.result, data.sum(axis=0))
+
+    def test_hits_cache_across_calls(self, rng):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        data = rng.normal(size=(8, 16))
+        first = wse.run_many([spec], [data])
+        second = wse.run_many([spec], [2 * data])
+        assert first[0].plan is second[0].plan
+        assert PLAN_CACHE.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_mixed_kinds_in_one_batch(self, rng):
+        d = rng.normal(size=(4, 8))
+        v = rng.normal(size=8)
+        specs = [
+            CollectiveSpec("reduce", Grid(1, 4), 8),
+            CollectiveSpec("broadcast", Grid(1, 4), 8),
+            CollectiveSpec("reduce_scatter", Grid(1, 4), 8),
+        ]
+        outs = wse.run_many(specs, [d, v, d])
+        assert np.allclose(outs[0].result, d.sum(axis=0))
+        assert np.allclose(outs[1].result, np.broadcast_to(v, (4, 8)))
+        assert np.allclose(outs[2].result.reshape(-1), d.sum(axis=0))
+
+    def test_length_mismatch_rejected(self, rng):
+        spec = CollectiveSpec("reduce", Grid(1, 4), 8)
+        with pytest.raises(ValueError, match="specs"):
+            wse.run_many([spec], [rng.normal(size=(4, 8))] * 2)
+
+    def test_data_shape_validated_against_spec(self, rng):
+        spec = CollectiveSpec("reduce", Grid(1, 4), 8)
+        with pytest.raises(ValueError, match="does not match spec"):
+            wse.run_many([spec], [rng.normal(size=(5, 8))])
+
+
+class TestRegistryInvalidation:
+    def test_register_collective_clears_the_cache(self):
+        from repro.core import registry
+
+        spec = CollectiveSpec("reduce", Grid(1, 8), 32)
+        wse.plan(spec)
+        assert PLAN_CACHE.stats()["size"] == 1
+        entry = registry.get_entry("reduce", 1, "chain")
+        try:
+            # Registering (here: replacing with itself) must drop cached
+            # plans — they embed the registry state they were planned under.
+            registry.register_collective(entry, replace=True)
+            assert PLAN_CACHE.stats()["size"] == 0
+        finally:
+            registry.COLLECTIVES[("reduce", 1, "chain")] = entry
+
+
+class TestPlanCacheClass:
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        specs = [CollectiveSpec("reduce", Grid(1, 4), b) for b in (8, 16, 24)]
+        for spec in specs:
+            cache.get_or_plan(spec, api._plan_uncached)
+        assert len(cache) == 2
+        assert specs[0] not in cache  # oldest evicted
+        assert specs[1] in cache and specs[2] in cache
+
+    def test_lru_touch_on_hit(self):
+        cache = PlanCache(maxsize=2)
+        specs = [CollectiveSpec("reduce", Grid(1, 4), b) for b in (8, 16, 24)]
+        cache.get_or_plan(specs[0], api._plan_uncached)
+        cache.get_or_plan(specs[1], api._plan_uncached)
+        cache.get_or_plan(specs[0], api._plan_uncached)  # refresh 0
+        cache.get_or_plan(specs[2], api._plan_uncached)  # evicts 1
+        assert specs[0] in cache and specs[1] not in cache
+
+    def test_clear_resets_counters(self):
+        spec = CollectiveSpec("reduce", Grid(1, 4), 8)
+        wse.plan(spec)
+        wse.plan(spec)
+        PLAN_CACHE.clear()
+        assert PLAN_CACHE.stats() == {"size": 0, "hits": 0, "misses": 0}
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import Grid, wse
-from repro.core.api import plan_allreduce, plan_reduce
+from repro import CollectiveSpec, Grid, wse
+from repro.core.api import execute, plan, plan_allreduce, plan_reduce
 
 
 class TestReduce:
@@ -119,6 +119,78 @@ class TestPlans:
         plan = plan_reduce(Grid(1, 8), 16, algorithm="tree")
         stats = plan.schedule.stats()
         assert stats["pes"] == 8
+
+
+class TestSpecPipeline:
+    """Every collective flows through the one plan/execute pipeline."""
+
+    KINDS_1D = (
+        "reduce", "allreduce", "broadcast", "gather", "scatter",
+        "allgather", "reduce_scatter",
+    )
+
+    def test_all_seven_kinds_plan_and_execute(self, rng):
+        p, b = 4, 8
+        d = rng.normal(size=(p, b))
+        v = rng.normal(size=b)
+        expected = {
+            "reduce": d.sum(axis=0),
+            "allreduce": np.broadcast_to(d.sum(axis=0), d.shape),
+            "broadcast": np.broadcast_to(v, (p, b)),
+            "gather": d,
+            "scatter": d,
+            "allgather": np.broadcast_to(d, (p, p, b)),
+            "reduce_scatter": d.sum(axis=0).reshape(p, b // p),
+        }
+        for kind in self.KINDS_1D:
+            spec = CollectiveSpec(kind, Grid(1, p), b)
+            pl = plan(spec)
+            assert pl.spec is spec or pl.spec == spec
+            data = v if kind == "broadcast" else d
+            out = execute(pl, data)
+            assert np.allclose(out.result, expected[kind]), kind
+            assert out.measured_cycles > 0, kind
+
+    def test_plan_carries_spec_and_resolved_algorithm(self):
+        spec = CollectiveSpec("reduce", Grid(1, 16), 64)
+        pl = plan(spec)
+        assert pl.spec == spec
+        assert pl.spec.algorithm == "auto"
+        assert pl.algorithm in wse.registry.REDUCE_1D
+
+    def test_spec_validates_kind_op_and_b(self):
+        with pytest.raises(ValueError, match="kind"):
+            CollectiveSpec("alltoall", Grid(1, 4), 8)
+        with pytest.raises(ValueError, match="unknown op"):
+            CollectiveSpec("reduce", Grid(1, 4), 8, op="xor")
+        with pytest.raises(ValueError, match=">= 1"):
+            CollectiveSpec("reduce", Grid(1, 4), 0)
+
+    def test_specs_are_hashable_value_types(self):
+        a = CollectiveSpec("reduce", Grid(1, 4), 8)
+        b = CollectiveSpec("reduce", Grid(1, 4), 8)
+        c = CollectiveSpec("reduce", Grid(1, 4), 16)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b, c}) == 2
+
+    def test_entry_lookup_for_every_kind(self):
+        for kind in self.KINDS_1D:
+            entries = wse.registry.entries_for(kind, 1)
+            assert entries, kind
+            for name, entry in entries.items():
+                assert entry.name == name
+                assert entry.kind == kind
+
+    def test_execute_rejects_mismatched_data(self, rng):
+        pl = plan(CollectiveSpec("reduce", Grid(1, 4), 8))
+        with pytest.raises(ValueError, match="does not match spec"):
+            execute(pl, rng.normal(size=(4, 16)))
+
+    def test_2d_grid_spec_roundtrip(self, rng):
+        g = rng.normal(size=(3, 4, 8))
+        spec = CollectiveSpec("reduce", Grid(3, 4), 8)
+        out = execute(plan(spec), g)
+        assert np.allclose(out.result, g.sum(axis=(0, 1)))
 
 
 class TestXYGuards:

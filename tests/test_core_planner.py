@@ -3,6 +3,9 @@
 import pytest
 
 from repro.core import planner, registry
+from repro.core.api import plan
+from repro.core.registry import CollectiveSpec
+from repro.fabric.geometry import Grid
 
 
 class TestBestReduce1D:
@@ -64,6 +67,55 @@ class TestBestAllReduce1D:
             512, 1, include=("star", "chain", "tree", "two_phase", "ring")
         )
         assert choice.algorithm in {"star", "tree"}
+
+
+class TestFeasibilityFiltering:
+    """Regression: auto must never select a plan that cannot be built.
+
+    The Ring's schedule requires ``B % P == 0``; the seed planner ranked
+    it regardless, so ``algorithm="auto"`` could pick an unbuildable
+    plan in the Ring's winning region (huge B, small P).
+    """
+
+    def test_infeasible_ring_dropped_from_ranking(self):
+        # B = 2**17 + 1 at P = 4 is squarely in the Ring's region but
+        # not divisible; the Ring must not appear among the candidates.
+        choice = planner.best_allreduce_1d(
+            4, 2**17 + 1, include=("star", "chain", "tree", "two_phase", "ring")
+        )
+        assert "ring" not in choice.candidates
+        assert choice.algorithm != "ring"
+
+    def test_feasible_ring_still_wins_its_region(self):
+        choice = planner.best_allreduce_1d(
+            4, 2**17, include=("star", "chain", "tree", "two_phase", "ring")
+        )
+        assert choice.algorithm == "ring"
+
+    def test_auto_plan_is_buildable_at_indivisible_b(self):
+        # End to end: auto planning at the indivisible point must yield
+        # a schedule (the seed raised from the Ring builder here).
+        p = plan(CollectiveSpec("allreduce", Grid(1, 4), 2**17 + 1))
+        assert p.algorithm != "ring"
+        assert p.schedule.stats()["pes"] == 4
+
+    def test_entry_feasible_reflects_divisibility(self):
+        entry = registry.get_entry("allreduce", 1, "ring")
+        good = CollectiveSpec("allreduce", Grid(1, 8), 32, algorithm="ring")
+        bad = CollectiveSpec("allreduce", Grid(1, 8), 30, algorithm="ring")
+        assert entry.feasible(good)
+        assert not entry.feasible(bad)
+        assert "divisible" in entry.why_infeasible(bad)
+
+    def test_rank_spec_rejects_unknown_names(self):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 32)
+        with pytest.raises(ValueError, match="unknown"):
+            planner.rank_spec(spec, include=("chain", "quantum"))
+
+    def test_no_feasible_candidate_raises(self):
+        spec = CollectiveSpec("allreduce", Grid(1, 8), 30)
+        with pytest.raises(ValueError, match="no feasible"):
+            planner.rank_spec(spec, include=("ring",))
 
 
 class TestBest2D:

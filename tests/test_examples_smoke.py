@@ -5,6 +5,7 @@ grid for many steps — exercised by the benchmark suite's time budget
 instead); everything else completes in seconds.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,14 +13,23 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
 def _run(name: str, *args: str) -> str:
+    # The examples import `repro` from src/; the package is not
+    # installed, so extend the subprocess's PYTHONPATH explicitly
+    # (pytest.ini's `pythonpath` only covers the pytest process).
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout

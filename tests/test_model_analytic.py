@@ -187,9 +187,10 @@ class Test2D:
         )
 
     def test_lower_bound_2d(self):
-        # Lemma 7.2
+        # Lemma 7.2 (distance term is the corner root's eccentricity
+        # M + N - 2, matching the 1D bound's P - 1 when M = 1).
         m, n, b = 8, 8, 64
-        expected = max(b, b / 8 + m + n - 1) + DC
+        expected = max(b, b / 8 + m + n - 2) + DC
         assert analytic.lower_bound_2d_time(m, n, b) == pytest.approx(expected)
 
     def test_snake_is_2d_optimal_for_huge_b(self):
