@@ -1,0 +1,96 @@
+"""Engine throughput: a 64-point sweep at 1 vs N workers.
+
+Times the same 64-point batch through ``SweepEngine(workers=1)`` (the
+serial plan/execute pipeline) and ``SweepEngine(workers=4+)`` (process
+fan-out), asserts the two agree bit for bit, and writes
+``benchmarks/out/BENCH_engine.json`` with points/sec and the speedup so
+the performance trajectory is tracked across commits.
+
+The speedup assertion is gated on the CPUs actually available to this
+process: process fan-out cannot beat serial on a single-core box (the
+JSON still records the measured ratio there, honestly below 1x).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import CollectiveSpec, Grid
+from repro.engine import SweepEngine, default_workers
+
+N_POINTS = 64
+P, B = 64, 192
+PARALLEL_WORKERS = max(4, min(8, default_workers()))
+
+
+def _batch():
+    """64 points over 8 distinct specs (mixed algorithms and sizes)."""
+    rng = np.random.default_rng(42)
+    shapes = [
+        ("reduce", "chain", B), ("reduce", "tree", B),
+        ("reduce", "two_phase", B), ("reduce", "star", 32),
+        ("allreduce", "chain", B), ("allreduce", "tree", B),
+        ("reduce", "chain", 2 * B), ("allreduce", "two_phase", B),
+    ]
+    specs, datas = [], []
+    for i in range(N_POINTS):
+        kind, algorithm, b = shapes[i % len(shapes)]
+        specs.append(CollectiveSpec(kind, Grid(1, P), b, algorithm=algorithm))
+        datas.append(rng.normal(size=(P, b)))
+    return specs, datas
+
+
+def _timed_sweep(workers, specs, datas):
+    engine = SweepEngine(workers=workers)
+    start = time.perf_counter()
+    outcomes = engine.sweep(specs, datas)
+    return outcomes, time.perf_counter() - start, engine
+
+
+def test_engine_throughput_64_points(out_dir):
+    specs, datas = _batch()
+    serial_outs, serial_s, _ = _timed_sweep(1, specs, datas)
+    parallel_outs, parallel_s, engine = _timed_sweep(
+        PARALLEL_WORKERS, specs, datas
+    )
+
+    # The engine moves points across processes without changing them.
+    for ours, ref in zip(parallel_outs, serial_outs):
+        assert np.array_equal(ours.result, ref.result)
+        assert ours.measured_cycles == ref.measured_cycles
+        assert ours.algorithm == ref.algorithm
+
+    cores = default_workers()
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    report = {
+        "points": N_POINTS,
+        "distinct_specs": len(set(specs)),
+        "pe_row": P,
+        "workers": PARALLEL_WORKERS,
+        "cores_available": cores,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "points_per_sec_serial": round(N_POINTS / serial_s, 2),
+        "points_per_sec_parallel": round(N_POINTS / parallel_s, 2),
+        "speedup": round(speedup, 3),
+        "parallel_points": engine.stats.parallel_points,
+        "chunks": engine.stats.chunks,
+    }
+    (out_dir / "BENCH_engine.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\n===== BENCH_engine =====\n{json.dumps(report, indent=2)}\n")
+
+    assert engine.stats.parallel_points == N_POINTS  # pool really ran
+    if cores >= 4:
+        assert speedup >= 2.0, report
+    elif cores >= 2:
+        assert speedup >= 1.2, report
+    else:
+        pytest.skip(
+            f"single core available (speedup {speedup:.2f}x recorded in "
+            "BENCH_engine.json); the >=2x criterion needs >=4 cores"
+        )

@@ -3,10 +3,12 @@
 Beyond the paper's Reduce/AllReduce/Broadcast, the library provides the
 data-movement collectives a real deployment needs (Gather, Scatter,
 AllGather, ReduceScatter), the butterfly AllReduce the paper only
-predicts, and the middle-root optimization of §6.1.  This example runs
-each once, checks it against NumPy, and renders the two-phase Reduce's
-execution timeline — the ASCII picture makes the pattern's two chained
-phases directly visible.
+predicts, and the middle-root optimization of §6.1.  The whole suite is
+expressed as one batch of ``CollectiveSpec``s and executed through
+``engine.sweep`` — one plan per distinct spec, simulations fanned out by
+the sweep engine — then checked against NumPy.  Finally the two-phase
+Reduce's execution timeline is rendered: the ASCII picture makes the
+pattern's two chained phases directly visible.
 
 Usage::
 
@@ -15,12 +17,13 @@ Usage::
 
 import numpy as np
 
-from repro import wse
+from repro import CollectiveSpec, Grid
 from repro.collectives import (
     butterfly_allreduce_schedule,
     middle_root_allreduce_schedule,
     reduce_1d_schedule,
 )
+from repro.engine import SweepEngine
 from repro.fabric import Tracer, link_utilization, render_timeline, row_grid, simulate
 
 P, B = 16, 32
@@ -34,27 +37,41 @@ def main() -> None:
     print(f"collectives on a {P}-PE row, B = {B} wavelets\n")
     rows = []
 
-    out = wse.reduce(data)
+    # The whole tour as one batched sweep: specs in, outcomes out.
+    grid_1d = Grid(1, P)
+    tour = [
+        ("reduce (auto)", CollectiveSpec("reduce", grid_1d, B)),
+        ("allreduce (auto)", CollectiveSpec("allreduce", grid_1d, B)),
+        ("gather", CollectiveSpec("gather", grid_1d, B)),
+        ("scatter", CollectiveSpec("scatter", grid_1d, B)),
+        ("allgather", CollectiveSpec("allgather", grid_1d, B)),
+        ("reduce_scatter", CollectiveSpec("reduce_scatter", grid_1d, B)),
+    ]
+    engine = SweepEngine()
+    outs = engine.sweep([spec for _, spec in tour], [data] * len(tour))
+    by_label = dict(zip([label for label, _ in tour], outs))
+
+    out = by_label["reduce (auto)"]
     assert np.allclose(out.result, total)
     rows.append(("reduce (auto)", out.algorithm, out.measured_cycles))
 
-    out = wse.allreduce(data)
+    out = by_label["allreduce (auto)"]
     assert np.allclose(out.result, np.broadcast_to(total, data.shape))
     rows.append(("allreduce (auto)", out.algorithm, out.measured_cycles))
 
-    out = wse.gather(data)
+    out = by_label["gather"]
     assert np.allclose(out.result, data)
     rows.append(("gather", "star-store", out.measured_cycles))
 
-    out = wse.scatter(data)
+    out = by_label["scatter"]
     assert np.allclose(out.result, data)
     rows.append(("scatter", "reverse-star", out.measured_cycles))
 
-    out = wse.allgather(data)
+    out = by_label["allgather"]
     assert all(np.allclose(out.result[i], data) for i in range(P))
     rows.append(("allgather", "ring", out.measured_cycles))
 
-    out = wse.reduce_scatter(data)
+    out = by_label["reduce_scatter"]
     assert np.allclose(out.result.reshape(-1), total)
     rows.append(("reduce_scatter", "ring", out.measured_cycles))
 
@@ -75,6 +92,11 @@ def main() -> None:
     width = max(len(r[0]) for r in rows)
     for name, alg, cycles in rows:
         print(f"  {name:<{width}}  {alg:<18} {cycles:>6} cycles")
+
+    stats = engine.stats
+    print(f"\nsweep engine: {stats.points} points over "
+          f"{stats.distinct_specs} distinct specs, "
+          f"workers = {stats.workers}, wall = {stats.wall_time:.3f}s")
 
     # --- execution trace of the two-phase reduce ---------------------------
     print("\nTwo-Phase Reduce execution timeline "

@@ -11,6 +11,11 @@ we can *cheat* and look at the true global clock to verify the procedure:
    the calibrated start spread is small;
 4. the reported runtime is ``max T_E' - min T_S'``.
 
+The cross-check against the perfect-global-clock simulation runs through
+the ``wse`` plan/execute pipeline, and the final section prints
+``wse.cache_info()`` — the calibration loop re-simulates the same
+schedule many times, so the plan cache should show exactly one miss.
+
 Usage::
 
     python examples/measurement_methodology.py
@@ -18,8 +23,9 @@ Usage::
 
 import numpy as np
 
+from repro import CollectiveSpec, wse
 from repro.collectives import reduce_1d_schedule
-from repro.fabric import row_grid, simulate
+from repro.fabric import row_grid
 from repro.timing import ClockModel, calibrate, run_instrumented
 from repro.validation import random_inputs
 
@@ -58,13 +64,20 @@ def main() -> None:
 
     run = cal.final_run
     measured = run.runtime
-    direct = simulate(
-        collective, inputs={k: v.copy() for k, v in inputs.items()}
-    ).cycles
+    spec = CollectiveSpec("reduce", grid, B, algorithm="two_phase")
+    stacked = np.stack([inputs[pe] for pe in range(P)])
+    direct = wse.execute(wse.plan(spec), stacked).measured_cycles
     print(f"\nmeasured runtime (max T_E' - min T_S'): {measured:.0f} cycles")
     print(f"direct simulation (perfect global clock): {direct} cycles")
     print(f"instrumentation overhead: "
           f"{(measured - direct) / direct:+.1%}")
+
+    # Observability: repeated plans of the same spec hit the cache.
+    wse.plan(spec)
+    info = wse.cache_info()
+    print(f"\nplan cache: {info['size']} plan(s), "
+          f"{info['hits']} hit(s), {info['misses']} miss(es) "
+          f"(one miss per distinct spec, however often it runs)")
 
 
 if __name__ == "__main__":

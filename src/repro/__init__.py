@@ -13,10 +13,14 @@ The package provides:
   :class:`~repro.core.registry.CollectiveSpec` is planned once through
   the model-driven planner (``plan``), memoized in the plan cache, and
   executed any number of times (``execute`` / ``run_many``);
+* :mod:`repro.engine` -- the parallel sweep engine: process-pool
+  fan-out for ``run_many``-style batches (``engine.sweep``), a
+  persistent spec-keyed plan/tune store (``TuneDB``), and autotuning
+  hooks that let measured winners override the analytic planner;
 * :mod:`repro.timing` -- the clock-synchronization measurement
   methodology of Section 8.3;
 * :mod:`repro.bench` -- drivers regenerating every figure of Section 8
-  (all measured sweep points are batched through ``wse.run_many``).
+  (all measured sweep points are batched through the sweep engine).
 
 Quickstart::
 
@@ -37,7 +41,7 @@ Spec-level batching (one plan per distinct spec, cached across calls)::
     outs = wse.run_many([spec] * 8, steps)   # planned once, executed 8x
 """
 
-from . import autogen, collectives, core, fabric, model
+from . import autogen, collectives, core, engine, fabric, model
 from . import core as wse
 from .core import (
     PLAN_CACHE,
@@ -46,6 +50,7 @@ from .core import (
     Plan,
     allreduce,
     broadcast,
+    cache_info,
     execute,
     plan,
     reduce,
@@ -54,12 +59,13 @@ from .core import (
 from .fabric import Grid, row_grid
 from .model import CS2, MachineParams
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "autogen",
     "collectives",
     "core",
+    "engine",
     "fabric",
     "model",
     "wse",
@@ -69,6 +75,7 @@ __all__ = [
     "plan",
     "execute",
     "run_many",
+    "cache_info",
     "PLAN_CACHE",
     "allreduce",
     "broadcast",

@@ -8,10 +8,14 @@ mirroring the paper's measured-vs-predicted presentation.
 
 Every *measured* point is expressed as a
 :class:`~repro.core.registry.CollectiveSpec` and the whole sweep is
-batched through :func:`repro.core.api.run_many`: each distinct spec is
-planned exactly once (and the plan is reused from the process-wide cache
-across sweeps and re-runs), then the simulations fan out point by point.
-Results are still verified against NumPy before being recorded.
+batched through the :class:`~repro.engine.pool.SweepEngine`: each
+distinct spec is planned exactly once (and the plan is reused from the
+process-wide cache across sweeps and re-runs), then the simulations fan
+out point by point — over a process pool when ``workers > 1`` (the
+``REPRO_SWEEP_WORKERS`` environment variable sets the default; unset
+means serial).  The engine changes where points run, never what they
+compute, so sweep outputs are identical for any worker count.  Results
+are still verified against NumPy before being recorded.
 
 Full-wafer 512x512 measured runs are not feasible in a Python cycle
 simulator (the paper's own full-scale heatmaps are model-driven); the
@@ -22,14 +26,15 @@ substitution.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import registry
-from ..core.api import run_many
 from ..core.registry import CollectiveSpec
+from ..engine.pool import SweepEngine
 from ..fabric.geometry import Grid
 from ..model import analytic
 from ..model.params import CS2, MachineParams
@@ -121,11 +126,32 @@ def _movement_estimate(kind: str, algorithm: str, p: int, b: int) -> float:
     return 2.0 * float(b) * p  # chain / two-phase / autogen / snake
 
 
+def _sweep_workers(workers: Optional[int]) -> int:
+    """Resolve a sweep's worker count: explicit arg, env var, serial.
+
+    ``REPRO_SWEEP_WORKERS`` accepts a positive integer (values below 1
+    mean serial, so ``0`` is a valid "off switch"); anything unparsable
+    raises a clear error rather than failing deep inside a sweep.
+    """
+    if workers is not None:
+        return workers
+    env = os.environ.get("REPRO_SWEEP_WORKERS", "").strip()
+    if not env:
+        return 1
+    try:
+        return max(1, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SWEEP_WORKERS must be an integer, got {env!r}"
+        ) from None
+
+
 class _MeasuredBatch:
-    """Accumulates the measured points of one sweep for a run_many call.
+    """Accumulates the measured points of one sweep for an engine run.
 
     Points are registered in sweep order; :meth:`run` executes the whole
-    batch through :func:`run_many` (one plan per distinct spec), verifies
+    batch through a :class:`~repro.engine.pool.SweepEngine` (one plan
+    per distinct spec, fanned out over ``workers`` processes), verifies
     every outcome against the NumPy reference, and writes the measured
     cycle counts back into the sweep's points.
     """
@@ -140,10 +166,11 @@ class _MeasuredBatch:
         self.datas.append(data)
         self.points.append(point)
 
-    def run(self) -> None:
+    def run(self, workers: Optional[int] = None) -> None:
         if not self.specs:
             return
-        outcomes = run_many(self.specs, self.datas)
+        engine = SweepEngine(workers=_sweep_workers(workers))
+        outcomes = engine.sweep(self.specs, self.datas)
         for spec, data, point, out in zip(
             self.specs, self.datas, self.points, outcomes
         ):
@@ -192,6 +219,7 @@ def reduce_1d_sweep(
     measure: bool = True,
     max_movements: float = 3e6,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """1D Reduce sweep over the cross-product of PEs and vector bytes."""
     result = SweepResult()
@@ -209,7 +237,7 @@ def reduce_1d_sweep(
                     )
                     batch.add(spec, _stacked_inputs(p, b, seed), point)
                 result.add(point)
-    batch.run()
+    batch.run(workers)
     return result
 
 
@@ -223,6 +251,7 @@ def allreduce_1d_sweep(
     measure: bool = True,
     max_movements: float = 3e6,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """1D AllReduce sweep; Ring points require B divisible by P."""
     result = SweepResult()
@@ -242,7 +271,7 @@ def allreduce_1d_sweep(
                     )
                     batch.add(spec, _stacked_inputs(p, b, seed), point)
                 result.add(point)
-    batch.run()
+    batch.run(workers)
     return result
 
 
@@ -253,6 +282,7 @@ def broadcast_1d_sweep(
     measure: bool = True,
     max_movements: float = 3e6,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """1D flooding-broadcast sweep (Figures 11a, 12a)."""
     result = SweepResult()
@@ -270,7 +300,7 @@ def broadcast_1d_sweep(
                 )
                 batch.add(spec, rng.normal(size=b), point)
             result.add(point)
-    batch.run()
+    batch.run(workers)
     return result
 
 
@@ -284,6 +314,7 @@ def reduce_2d_sweep(
     measure: bool = True,
     max_movements: float = 3e6,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """2D Reduce sweep over grid shapes (Figures 13a, 13c)."""
     result = SweepResult()
@@ -302,7 +333,7 @@ def reduce_2d_sweep(
                     )
                     batch.add(spec, _stacked_inputs(m * n, b, seed), point)
                 result.add(point)
-    batch.run()
+    batch.run(workers)
     return result
 
 
@@ -316,6 +347,7 @@ def allreduce_2d_sweep(
     measure: bool = True,
     max_movements: float = 3e6,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """2D AllReduce sweep: 2D Reduce + corner broadcast (Figure 13b)."""
     result = SweepResult()
@@ -334,7 +366,7 @@ def allreduce_2d_sweep(
                     )
                     batch.add(spec, _stacked_inputs(m * n, b, seed), point)
                 result.add(point)
-    batch.run()
+    batch.run(workers)
     return result
 
 
@@ -345,6 +377,7 @@ def broadcast_2d_sweep(
     measure: bool = True,
     max_movements: float = 3e6,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """2D corner-broadcast sweep (Lemma 7.1 validation)."""
     result = SweepResult()
@@ -362,5 +395,5 @@ def broadcast_2d_sweep(
                 )
                 batch.add(spec, rng.normal(size=b), point)
             result.add(point)
-    batch.run()
+    batch.run(workers)
     return result

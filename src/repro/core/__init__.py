@@ -21,6 +21,7 @@ from .api import (
     allgather,
     allreduce,
     broadcast,
+    cache_info,
     execute,
     gather,
     plan,
@@ -38,8 +39,10 @@ from .planner import (
     best_allreduce_2d,
     best_reduce_1d,
     best_reduce_2d,
+    get_tuner_hook,
     rank_algorithms,
     rank_spec,
+    set_tuner_hook,
 )
 from .registry import (
     ALLREDUCE_1D,
@@ -69,6 +72,7 @@ __all__ = [
     "plan",
     "execute",
     "run_many",
+    "cache_info",
     "allreduce",
     "broadcast",
     "plan_allreduce",
@@ -88,6 +92,8 @@ __all__ = [
     "best_reduce_2d",
     "rank_algorithms",
     "rank_spec",
+    "set_tuner_hook",
+    "get_tuner_hook",
     "ALLREDUCE_1D",
     "ALLREDUCE_2D",
     "COLLECTIVES",

@@ -52,7 +52,7 @@ from .cache import PLAN_CACHE
 from .registry import REDUCE_OPS, CollectiveSpec
 
 __all__ = ["CollectiveSpec", "CollectiveOutcome", "Plan",
-           "plan", "execute", "run_many",
+           "plan", "execute", "run_many", "cache_info",
            "plan_reduce", "plan_allreduce",
            "reduce", "allreduce", "broadcast", "gather", "scatter",
            "allgather", "reduce_scatter", "REDUCE_OPS"]
@@ -161,6 +161,17 @@ def plan(spec: CollectiveSpec, use_cache: bool = True) -> Plan:
     if not use_cache:
         return _plan_uncached(spec)
     return PLAN_CACHE.get_or_plan(spec, _plan_uncached)
+
+
+def cache_info() -> Dict[str, int]:
+    """Observability counters of the process-wide plan cache.
+
+    Returns ``{"size", "hits", "misses"}`` from
+    :data:`~repro.core.cache.PLAN_CACHE` — the quick way to check that a
+    sweep or training loop is actually reusing plans (misses should stay
+    at one per distinct spec).
+    """
+    return PLAN_CACHE.stats()
 
 
 # ---------------------------------------------------------------------------

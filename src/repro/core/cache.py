@@ -33,9 +33,11 @@ class PlanCache:
     """An LRU-evicting map from :class:`CollectiveSpec` to its plan.
 
     ``maxsize=None`` (the default) never evicts.  All operations are
-    guarded by a lock so concurrent drivers can share one cache; the
-    builder runs outside the lock, so a race may plan the same spec
-    twice, but both results are identical and the first stays cached.
+    guarded by a lock so concurrent drivers can share one cache.
+    :meth:`get_or_plan` is single-flight: when several threads miss on
+    the same spec simultaneously, exactly one runs the builder (outside
+    the lock) while the others wait for its result, so a spec is never
+    planned twice by the same cache.
     """
 
     def __init__(self, maxsize: Optional[int] = None) -> None:
@@ -44,6 +46,7 @@ class PlanCache:
         self.maxsize = maxsize
         self._plans: "OrderedDict[CollectiveSpec, Plan]" = OrderedDict()
         self._lock = threading.Lock()
+        self._pending: Dict["CollectiveSpec", threading.Event] = {}
         self.hits = 0
         self.misses = 0
 
@@ -70,12 +73,40 @@ class PlanCache:
         spec: "CollectiveSpec",
         planner: Callable[["CollectiveSpec"], "Plan"],
     ) -> "Plan":
-        """The cached plan for ``spec``, planning and storing on a miss."""
-        plan = self.lookup(spec)
-        if plan is not None:
-            return plan
-        plan = planner(spec)
+        """The cached plan for ``spec``, planning and storing on a miss.
+
+        Single-flight: concurrent callers missing on the same spec block
+        until the first caller's ``planner`` finishes, then return its
+        cached result (counted as hits).  If the builder raises, one of
+        the waiters takes over and retries.
+        """
+        while True:
+            with self._lock:
+                plan = self._plans.get(spec)
+                if plan is not None:
+                    self._plans.move_to_end(spec)
+                    self.hits += 1
+                    return plan
+                event = self._pending.get(spec)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[spec] = event
+                    self.misses += 1
+                    break
+            # Another thread is already planning this spec; wait for it
+            # and re-check (it may have failed, making us the planner).
+            event.wait()
+        try:
+            plan = planner(spec)
+        except BaseException:
+            with self._lock:
+                self._pending.pop(spec, None)
+            event.set()
+            raise
         self.store(spec, plan)
+        with self._lock:
+            self._pending.pop(spec, None)
+        event.set()
         return plan
 
     def store(self, spec: "CollectiveSpec", plan: "Plan") -> None:

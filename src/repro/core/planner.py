@@ -15,24 +15,58 @@ etc.) are thin wrappers kept for the benches and notebooks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..fabric.geometry import Grid
 from ..model.params import CS2, MachineParams
 from . import registry
 from .registry import CollectiveSpec
 
-__all__ = ["Choice", "rank_spec", "best_reduce_1d", "best_allreduce_1d",
+__all__ = ["Choice", "Tuner", "rank_spec", "set_tuner_hook", "get_tuner_hook",
+           "best_reduce_1d", "best_allreduce_1d",
            "best_reduce_2d", "best_allreduce_2d", "rank_algorithms"]
+
+#: A tuner maps ``(spec, candidate predictions)`` to a measured winner
+#: name, or ``None`` when it has no measurement-backed opinion.
+Tuner = Callable[[CollectiveSpec, Dict[str, float]], Optional[str]]
+
+#: Process-wide tuner consulted by :func:`rank_spec` when no explicit
+#: ``tuner`` argument is given.  Installed by
+#: :func:`repro.engine.autotune.set_tuner`; ``None`` keeps planning
+#: purely analytic.
+_TUNER_HOOK: Optional[Tuner] = None
+
+
+def set_tuner_hook(tuner: Optional[Tuner]) -> Optional[Tuner]:
+    """Install the process-wide tuner; returns the previous one.
+
+    Callers owning a plan cache must invalidate it around this call —
+    cached ``algorithm="auto"`` plans embed the ranking they were made
+    under (:func:`repro.engine.autotune.set_tuner` does this).
+    """
+    global _TUNER_HOOK
+    previous = _TUNER_HOOK
+    _TUNER_HOOK = tuner
+    return previous
+
+
+def get_tuner_hook() -> Optional[Tuner]:
+    """The currently installed process-wide tuner (or ``None``)."""
+    return _TUNER_HOOK
 
 
 @dataclass(frozen=True)
 class Choice:
-    """One planning decision with the full candidate ranking."""
+    """One planning decision with the full candidate ranking.
+
+    ``tuned`` is true when a measured-winner tuner overrode the analytic
+    pick; ``candidates`` always carries the analytic predictions.
+    """
 
     algorithm: str
     predicted_cycles: float
     candidates: Dict[str, float]
+    tuned: bool = False
 
     def speedup_over(self, baseline: str) -> float:
         """Predicted speedup of the choice over ``baseline``."""
@@ -55,6 +89,7 @@ def _choose(candidates: Dict[str, float]) -> Choice:
 def rank_spec(
     spec: CollectiveSpec,
     include: Iterable[str] | None = None,
+    tuner: Optional[Tuner] = None,
 ) -> Choice:
     """Rank every feasible registered algorithm for ``spec``.
 
@@ -62,6 +97,12 @@ def rank_spec(
     are dropped *before* choosing, so ``algorithm="auto"`` can never
     select a plan whose schedule cannot be built.  Raises ``ValueError``
     when no candidate survives.
+
+    ``tuner`` (or the process-wide hook installed via
+    :func:`set_tuner_hook`) may override the analytic pick with a
+    *measured* winner: when it names a surviving candidate, that
+    algorithm is chosen and the choice is flagged ``tuned``.  Winners
+    outside the feasible candidate set are ignored.
     """
     entries = registry.entries_for(spec.kind, spec.dims)
     names = tuple(include) if include is not None else tuple(entries)
@@ -81,7 +122,19 @@ def rank_spec(
             f"no feasible {spec.dims}D {spec.kind} algorithm for "
             f"grid {spec.grid.rows}x{spec.grid.cols}, B={spec.b}"
         )
-    return _choose(candidates)
+    choice = _choose(candidates)
+    hook = tuner if tuner is not None else _TUNER_HOOK
+    if hook is not None:
+        winner = hook(spec, dict(candidates))
+        if (winner is not None and winner in candidates
+                and winner != choice.algorithm):
+            choice = Choice(
+                algorithm=winner,
+                predicted_cycles=candidates[winner],
+                candidates=choice.candidates,
+                tuned=True,
+            )
+    return choice
 
 
 def best_reduce_1d(

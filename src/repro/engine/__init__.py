@@ -1,0 +1,61 @@
+"""repro.engine: parallel sweep engine with a persistent plan/tune store.
+
+The spec pipeline (:mod:`repro.core`) made every collective a pure
+``plan(spec)`` + ``execute(plan, data)``; this package scales that
+contract out and makes it durable:
+
+* :mod:`repro.engine.pool` — :class:`SweepEngine`, a process-pool
+  executor for ``run_many``-style batches: chunked by distinct spec (one
+  plan per chunk), deterministically ordered, bit-identical to the
+  serial path, with a serial fallback for ``workers=1`` and batches
+  that cannot cross a process boundary;
+* :mod:`repro.engine.store` — :class:`TuneDB` / :class:`PlanStore`, an
+  append-only JSON-lines store mapping frozen specs to
+  ``{predicted_cycles, measured_cycles, winner_algorithm}``; survives
+  processes and re-warms the plan cache via
+  :meth:`TuneDB.hydrate_plan_cache`;
+* :mod:`repro.engine.autotune` — :func:`tune` measures every feasible
+  candidate per spec and records winners; :func:`set_tuner` /
+  :func:`use_tuner` let those measured winners override the analytic
+  planner for ``algorithm="auto"``;
+* :mod:`repro.engine.runner` — the :func:`sweep` façade.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CollectiveSpec, Grid, engine
+
+    spec = CollectiveSpec("reduce", Grid(1, 64), 256)
+    datas = [np.random.default_rng(s).normal(size=(64, 256))
+             for s in range(32)]
+    outs = engine.sweep([spec] * 32, datas, workers=4)   # one plan, 32 sims
+"""
+
+from .autotune import Tuner, set_tuner, tune, use_tuner
+from .pool import EngineStats, SweepEngine, default_workers
+from .runner import sweep
+from .store import (
+    PlanStore,
+    TuneDB,
+    TuneRecord,
+    default_db_path,
+    spec_from_key,
+    spec_to_key,
+)
+
+__all__ = [
+    "EngineStats",
+    "SweepEngine",
+    "default_workers",
+    "sweep",
+    "tune",
+    "Tuner",
+    "set_tuner",
+    "use_tuner",
+    "TuneDB",
+    "TuneRecord",
+    "PlanStore",
+    "default_db_path",
+    "spec_to_key",
+    "spec_from_key",
+]

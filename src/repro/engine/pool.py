@@ -1,0 +1,244 @@
+"""Process-pool sweep engine: fan a batch of collectives out over workers.
+
+The paper's evaluation is dominated by sweep grids — hundreds of
+``(grid, B, algorithm)`` points, each an independent plan+simulate — and
+the cycle simulator is pure Python, so the wall-clock lever is process
+parallelism.  :class:`SweepEngine` takes the same ``(specs, datas)``
+batch as :func:`repro.core.api.run_many` and fans it out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **one plan per distinct spec** — points are grouped by their (frozen,
+  hashable) spec and every distinct spec is planned exactly once *in
+  the parent* (through the process-wide plan cache, so repeated sweeps
+  replan nothing); chunks ship the finished plan, and workers only
+  execute it, so parallel results cannot diverge from serial planning
+  state (tuner hooks, runtime-registered collectives) regardless of
+  the multiprocessing start method;
+* **deterministic ordering** — results are reassembled by original
+  index; the outcome list is bit-identical to the serial path no matter
+  how many workers ran (simulation is pure, pickling is lossless);
+* **serial fallback** — ``workers=1``, single-point batches, daemonic
+  processes (a pool cannot nest inside a pool worker) and batches the
+  pool cannot transport (pickling failures, a broken pool) all fall back
+  to in-process execution; the engine *changes where points run, never
+  what they compute*.
+
+The ``fork`` start method is preferred when the platform offers it
+(cheapest worker startup); correctness does not depend on it.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.api import CollectiveOutcome, Plan, execute, plan
+from ..core.registry import CollectiveSpec
+
+__all__ = ["SweepEngine", "EngineStats"]
+
+
+def default_workers() -> int:
+    """Worker count when none is given: the CPUs this process may use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _pool_context():
+    """Fork when available (inherits registry + warm plan cache)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+def _run_chunk(
+    chunk_plan: Plan, datas: List[np.ndarray]
+) -> List[CollectiveOutcome]:
+    """Worker body: execute every point of a chunk against its one plan.
+
+    The plan arrives fully built from the parent, so workers never plan
+    — execution state cannot depend on what the worker process knows
+    (registry contents, tuner hooks, start method).
+    """
+    return [execute(chunk_plan, data) for data in datas]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative observability counters of one :class:`SweepEngine`."""
+
+    #: total points executed (serial + parallel).
+    points: int = 0
+    #: distinct specs seen across all sweeps (i.e. plans needed).
+    distinct_specs: int = 0
+    #: number of sweep() calls.
+    sweeps: int = 0
+    #: chunks shipped to pool workers.
+    chunks: int = 0
+    #: points that ran inside pool workers / in-process.
+    parallel_points: int = 0
+    serial_points: int = 0
+    #: most workers used by any single sweep.
+    workers: int = 0
+    #: total wall-clock seconds spent inside sweep().
+    wall_time: float = 0.0
+
+    @property
+    def points_per_second(self) -> float:
+        return self.points / self.wall_time if self.wall_time > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "points": self.points,
+            "distinct_specs": self.distinct_specs,
+            "sweeps": self.sweeps,
+            "chunks": self.chunks,
+            "parallel_points": self.parallel_points,
+            "serial_points": self.serial_points,
+            "workers": self.workers,
+            "wall_time": self.wall_time,
+            "points_per_second": self.points_per_second,
+        }
+
+
+class SweepEngine:
+    """Drop-in parallel executor for ``run_many``-style batches.
+
+    ``workers=None`` uses every CPU the process may schedule on;
+    ``workers=1`` is exactly the serial pipeline.  One engine can run
+    many sweeps; :attr:`stats` accumulates across them.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunks_per_worker: int = 4,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = default_workers() if workers is None else int(workers)
+        if chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.chunks_per_worker = chunks_per_worker
+        self.stats = EngineStats()
+
+    # -- public -------------------------------------------------------------
+
+    def sweep(
+        self,
+        specs: Sequence[CollectiveSpec],
+        datas: Sequence[np.ndarray],
+    ) -> List[CollectiveOutcome]:
+        """Execute ``specs[i]`` on ``datas[i]``; results in input order.
+
+        Semantically identical to :func:`repro.core.api.run_many` — the
+        engine only decides *where* each point runs.
+        """
+        specs = list(specs)
+        datas = list(datas)
+        if len(specs) != len(datas):
+            raise ValueError(
+                f"got {len(specs)} specs but {len(datas)} data arrays"
+            )
+        started = time.perf_counter()
+        groups = self._group(specs)
+        # Plan every distinct spec once, in the parent, through the
+        # process-wide cache — workers only ever execute finished plans.
+        plans: Dict[CollectiveSpec, Plan] = {
+            spec: plan(spec) for spec in groups
+        }
+        parallel = self.workers > 1 and len(specs) > 1 and not (
+            multiprocessing.current_process().daemon
+        )
+        used_workers = 1
+        n_chunks = 0
+        outcomes: Optional[List[CollectiveOutcome]] = None
+        if parallel:
+            try:
+                outcomes, n_chunks, used_workers = self._sweep_parallel(
+                    plans, datas, groups
+                )
+            except (pickle.PicklingError, BrokenProcessPool, OSError):
+                # The batch (or the platform) cannot cross a process
+                # boundary; the serial path below computes the same thing.
+                outcomes = None
+        if outcomes is None:
+            outcomes = [execute(plans[spec], data)
+                        for spec, data in zip(specs, datas)]
+            self.stats.serial_points += len(specs)
+        else:
+            self.stats.parallel_points += len(specs)
+        self.stats.points += len(specs)
+        self.stats.distinct_specs += len(groups)
+        self.stats.sweeps += 1
+        self.stats.chunks += n_chunks
+        self.stats.workers = max(self.stats.workers, used_workers)
+        self.stats.wall_time += time.perf_counter() - started
+        return outcomes
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _group(
+        specs: Sequence[CollectiveSpec],
+    ) -> "Dict[CollectiveSpec, List[int]]":
+        """Point indices grouped by spec, in order of first appearance."""
+        groups: Dict[CollectiveSpec, List[int]] = {}
+        for index, spec in enumerate(specs):
+            groups.setdefault(spec, []).append(index)
+        return groups
+
+    def _chunks(
+        self,
+        groups: "Dict[CollectiveSpec, List[int]]",
+        total: int,
+    ) -> List[Tuple[CollectiveSpec, List[int]]]:
+        """Split each spec group into chunks of bounded size.
+
+        The bound targets ``chunks_per_worker`` chunks per worker so the
+        pool load-balances even when one spec dominates the batch, while
+        never mixing specs inside a chunk (one plan per chunk).
+        """
+        target = max(1, math.ceil(total / (self.workers * self.chunks_per_worker)))
+        chunks: List[Tuple[CollectiveSpec, List[int]]] = []
+        for spec, indices in groups.items():
+            for start in range(0, len(indices), target):
+                chunks.append((spec, indices[start:start + target]))
+        return chunks
+
+    def _sweep_parallel(
+        self,
+        plans: "Dict[CollectiveSpec, Plan]",
+        datas: List[np.ndarray],
+        groups: "Dict[CollectiveSpec, List[int]]",
+    ) -> Tuple[List[CollectiveOutcome], int, int]:
+        chunks = self._chunks(groups, len(datas))
+        used = min(self.workers, len(chunks))
+        results: List[Optional[CollectiveOutcome]] = [None] * len(datas)
+        with ProcessPoolExecutor(
+            max_workers=used, mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                (pool.submit(_run_chunk, plans[spec],
+                             [datas[i] for i in indices]),
+                 indices)
+                for spec, indices in chunks
+            ]
+            for future, indices in futures:
+                for index, outcome in zip(indices, future.result()):
+                    results[index] = outcome
+        return results, len(chunks), used  # type: ignore[return-value]

@@ -1,0 +1,39 @@
+"""Top-level engine façade: one call to sweep a batch of collectives.
+
+``repro.engine.sweep`` is the batch analogue of ``wse.run_many`` with
+process-pool fan-out; for anything needing observability or reuse
+(stats, one pool across many sweeps), instantiate
+:class:`~repro.engine.pool.SweepEngine` directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.api import CollectiveOutcome
+from ..core.registry import CollectiveSpec
+from .pool import SweepEngine
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    specs: Sequence[CollectiveSpec],
+    datas: Sequence[np.ndarray],
+    workers: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
+) -> List[CollectiveOutcome]:
+    """Execute ``specs[i]`` on ``datas[i]``; results in input order.
+
+    Plans once per distinct spec, fans the simulations out over
+    ``workers`` processes (default: every CPU the process may use;
+    ``workers=1`` is exactly the serial ``run_many`` pipeline), and
+    returns outcomes bit-identical to the serial path.  Pass ``engine``
+    to reuse a configured :class:`SweepEngine` (and accumulate its
+    stats) across calls.
+    """
+    if engine is None:
+        engine = SweepEngine(workers=workers)
+    return engine.sweep(specs, datas)

@@ -1,0 +1,278 @@
+"""Persistent plan/tune store: spec-keyed records that survive processes.
+
+The plan cache (:data:`repro.core.cache.PLAN_CACHE`) memoizes planning
+within one process; this module makes the *knowledge* behind those plans
+durable.  A :class:`TuneDB` is an append-only JSON-lines file under a
+cache directory mapping a frozen :class:`~repro.core.registry.
+CollectiveSpec` (serialized field by field, machine parameters included)
+to what the engine has learned about it::
+
+    frozen spec -> {predicted_cycles, measured_cycles,
+                    winner_algorithm, measured per-algorithm cycles}
+
+Records are written one JSON object per line, so concurrent processes
+can append safely and a truncated or corrupted line loses only itself —
+:meth:`TuneDB.load` skips anything unparsable and keeps counting
+(``corrupt_lines``).  The last record for a key wins, merged field-wise,
+which makes re-tuning a plain append.
+
+Two consumers:
+
+* :meth:`TuneDB.hydrate_plan_cache` re-plans every recorded spec into a
+  :class:`~repro.core.cache.PlanCache`, so a fresh process starts with a
+  warm cache (schedules are cheap to rebuild deterministically from the
+  spec; only the *specs worth planning* need to persist);
+* :class:`repro.engine.autotune.Tuner` consults :meth:`TuneDB.winner`
+  to let measured results override the analytic planner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..core.registry import CollectiveSpec
+from ..fabric.geometry import Grid
+from ..model.params import MachineParams
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TuneRecord",
+    "TuneDB",
+    "PlanStore",
+    "default_db_path",
+    "spec_to_key",
+    "spec_from_key",
+]
+
+#: Bump when the on-disk record layout changes; mismatching lines are
+#: treated as corrupt (skipped, counted) rather than misread.
+SCHEMA_VERSION = 1
+
+
+def default_db_path() -> pathlib.Path:
+    """Default store location: ``$REPRO_CACHE_DIR`` or ``~/.cache``."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = os.path.join(os.path.expanduser("~"), ".cache", "repro-wse")
+    return pathlib.Path(root) / "tune_db.jsonl"
+
+
+def spec_to_key(spec: CollectiveSpec) -> Dict[str, object]:
+    """JSON-safe dict uniquely identifying ``spec`` (params included)."""
+    return {
+        "kind": spec.kind,
+        "rows": spec.grid.rows,
+        "cols": spec.grid.cols,
+        "b": spec.b,
+        "op": spec.op,
+        "algorithm": spec.algorithm,
+        "xy": spec.xy,
+        "params": asdict(spec.params),
+    }
+
+
+def spec_from_key(key: Dict[str, object]) -> CollectiveSpec:
+    """Rebuild the frozen spec a :func:`spec_to_key` dict describes."""
+    return CollectiveSpec(
+        kind=key["kind"],
+        grid=Grid(int(key["rows"]), int(key["cols"])),
+        b=int(key["b"]),
+        op=key["op"],
+        algorithm=key["algorithm"],
+        params=MachineParams(**key["params"]),
+        xy=bool(key["xy"]),
+    )
+
+
+def _key_id(key: Dict[str, object]) -> str:
+    """Canonical string form of a spec key (dict-key and dedup identity)."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class TuneRecord:
+    """Everything the store knows about one spec.
+
+    ``measured`` holds per-algorithm measured cycles from a tuning run;
+    ``winner_algorithm`` is only trustworthy when it appears in
+    ``measured`` (enforced by :meth:`TuneDB.winner`).
+    """
+
+    key: Dict[str, object]
+    predicted_cycles: Optional[float] = None
+    measured_cycles: Optional[int] = None
+    winner_algorithm: Optional[str] = None
+    measured: Dict[str, int] = field(default_factory=dict)
+
+    def spec(self) -> CollectiveSpec:
+        return spec_from_key(self.key)
+
+
+class TuneDB:
+    """Append-only JSON-lines store of :class:`TuneRecord` per spec.
+
+    Loading tolerates corruption line by line; writing is append-only so
+    several processes can share one file.  ``path=None`` uses
+    :func:`default_db_path`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike, None] = None,
+        autoload: bool = True,
+    ) -> None:
+        self.path = pathlib.Path(path) if path is not None else default_db_path()
+        self._records: Dict[str, TuneRecord] = {}
+        self.corrupt_lines = 0
+        if autoload:
+            self.load()
+
+    # -- persistence --------------------------------------------------------
+
+    def load(self) -> int:
+        """(Re)read the file, skipping corrupt lines; returns #records."""
+        self._records.clear()
+        self.corrupt_lines = 0
+        if not self.path.exists():
+            return 0
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                if obj.get("schema") != SCHEMA_VERSION:
+                    raise ValueError(f"unknown schema {obj.get('schema')!r}")
+                record = TuneRecord(
+                    key=obj["key"],
+                    predicted_cycles=obj.get("predicted_cycles"),
+                    measured_cycles=obj.get("measured_cycles"),
+                    winner_algorithm=obj.get("winner_algorithm"),
+                    measured={
+                        str(k): int(v)
+                        for k, v in (obj.get("measured") or {}).items()
+                    },
+                )
+                record.spec()  # validates the key round-trips to a spec
+            except (ValueError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            self._merge(record)
+        return len(self._records)
+
+    def _merge(self, record: TuneRecord) -> TuneRecord:
+        """Field-wise merge of ``record`` into the in-memory map."""
+        kid = _key_id(record.key)
+        existing = self._records.get(kid)
+        if existing is None:
+            self._records[kid] = record
+            return record
+        if record.predicted_cycles is not None:
+            existing.predicted_cycles = record.predicted_cycles
+        if record.measured_cycles is not None:
+            existing.measured_cycles = record.measured_cycles
+        if record.winner_algorithm is not None:
+            existing.winner_algorithm = record.winner_algorithm
+        existing.measured.update(record.measured)
+        return existing
+
+    def _append(self, record: TuneRecord) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "key": record.key,
+            "predicted_cycles": record.predicted_cycles,
+            "measured_cycles": record.measured_cycles,
+            "winner_algorithm": record.winner_algorithm,
+            "measured": record.measured,
+        }
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def record(
+        self,
+        spec: CollectiveSpec,
+        predicted_cycles: Optional[float] = None,
+        measured_cycles: Optional[int] = None,
+        winner_algorithm: Optional[str] = None,
+        measured: Optional[Dict[str, int]] = None,
+    ) -> TuneRecord:
+        """Merge one observation for ``spec`` and persist it."""
+        merged = self._merge(TuneRecord(
+            key=spec_to_key(spec),
+            predicted_cycles=predicted_cycles,
+            measured_cycles=measured_cycles,
+            winner_algorithm=winner_algorithm,
+            measured=dict(measured or {}),
+        ))
+        self._append(merged)
+        return merged
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TuneRecord]:
+        return iter(list(self._records.values()))
+
+    def lookup(self, spec: CollectiveSpec) -> Optional[TuneRecord]:
+        """The record for ``spec``, or ``None``."""
+        return self._records.get(_key_id(spec_to_key(spec)))
+
+    def winner(self, spec: CollectiveSpec) -> Optional[str]:
+        """The *measured* winning algorithm for ``spec``, if any.
+
+        Returns ``None`` unless the recorded winner is backed by an
+        actual measurement — an analytic-only record never overrides the
+        planner.
+        """
+        record = self.lookup(spec)
+        if record is None or record.winner_algorithm is None:
+            return None
+        if record.winner_algorithm not in record.measured:
+            return None
+        return record.winner_algorithm
+
+    def specs(self) -> List[CollectiveSpec]:
+        """Every recorded spec (insertion order)."""
+        return [record.spec() for record in self._records.values()]
+
+    # -- plan-cache hydration ------------------------------------------------
+
+    def hydrate_plan_cache(self, cache=None) -> int:
+        """Warm a plan cache with every spec this store knows about.
+
+        Plans are rebuilt deterministically from the stored specs (a
+        schedule is pure in its spec, so only the spec needs to persist)
+        and verified retrievable, so the first user-level ``plan()`` of a
+        recorded spec is a cache hit instead of a fresh planning pass.
+        Specs the current registry can no longer plan are skipped.
+        Returns the number of plans hydrated.
+        """
+        from ..core import api
+        from ..core.cache import PLAN_CACHE
+
+        if cache is None:
+            cache = PLAN_CACHE
+        hydrated = 0
+        for record in self:
+            try:
+                spec = record.spec()
+                cache.get_or_plan(
+                    spec, lambda s: api.plan(s, use_cache=False)
+                )
+            except (ValueError, KeyError, TypeError):
+                continue
+            if cache.lookup(spec) is not None:
+                hydrated += 1
+        return hydrated
+
+
+#: The store doubles as the persistent face of the plan cache — the
+#: hydration path only needs specs, which every record carries.
+PlanStore = TuneDB

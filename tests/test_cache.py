@@ -187,3 +187,56 @@ class TestPlanCacheClass:
     def test_rejects_bad_maxsize(self):
         with pytest.raises(ValueError):
             PlanCache(maxsize=0)
+
+
+class TestSingleFlight:
+    """get_or_plan plans a spec exactly once under concurrency."""
+
+    def test_concurrent_misses_plan_once(self):
+        import threading
+
+        cache = PlanCache()
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        calls = []
+        gate = threading.Event()
+
+        def slow_builder(s):
+            calls.append(s)
+            gate.wait(timeout=5)  # hold every other thread in the cache
+            return api._plan_uncached(s)
+
+        threads = [
+            threading.Thread(
+                target=lambda: cache.get_or_plan(spec, slow_builder)
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        # Let all threads reach the cache before the builder finishes.
+        import time
+
+        time.sleep(0.1)
+        gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(calls) == 1
+        assert cache.stats() == {"size": 1, "hits": 7, "misses": 1}
+
+    def test_waiters_take_over_after_builder_failure(self):
+        cache = PlanCache()
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        attempts = []
+
+        def failing_once(s):
+            attempts.append(s)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return api._plan_uncached(s)
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_plan(spec, failing_once)
+        plan = cache.get_or_plan(spec, failing_once)
+        assert plan.spec == spec
+        assert len(attempts) == 2
+        assert cache.stats()["size"] == 1

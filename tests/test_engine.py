@@ -1,0 +1,325 @@
+"""Tests for repro.engine: pool equivalence, store persistence, tuning.
+
+The engine's contract is that it changes *where* points run, never
+*what* they compute — serial and parallel sweeps must agree bit for bit.
+The store's contract is durability: records survive process boundaries
+and tolerate a corrupted file line by line.  The tuner's contract is
+that a measured winner overrides the analytic planner only when actual
+measurements exist.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro import CollectiveSpec, Grid, wse
+from repro.core import api, planner
+from repro.core.cache import PLAN_CACHE, PlanCache
+from repro.engine import (
+    SweepEngine,
+    TuneDB,
+    Tuner,
+    default_workers,
+    spec_from_key,
+    spec_to_key,
+    sweep,
+    tune,
+    use_tuner,
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    PLAN_CACHE.clear()
+    yield
+    PLAN_CACHE.clear()
+
+
+def _mixed_batch(rng, repeats=2):
+    """A batch mixing kinds, shapes and repeated specs."""
+    specs, datas = [], []
+    for _ in range(repeats):
+        specs.append(CollectiveSpec("reduce", Grid(1, 8), 16))
+        datas.append(rng.normal(size=(8, 16)))
+        specs.append(CollectiveSpec("allreduce", Grid(1, 4), 8,
+                                    algorithm="chain"))
+        datas.append(rng.normal(size=(4, 8)))
+        specs.append(CollectiveSpec("reduce", Grid(2, 3), 6))
+        datas.append(rng.normal(size=(6, 6)))
+        specs.append(CollectiveSpec("broadcast", Grid(1, 6), 12))
+        datas.append(rng.normal(size=12))
+    return specs, datas
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_to_run_many(self, rng, workers):
+        specs, datas = _mixed_batch(rng)
+        baseline = wse.run_many(specs, datas)
+        engine = SweepEngine(workers=workers)
+        outcomes = engine.sweep(specs, datas)
+        assert len(outcomes) == len(baseline)
+        for ours, ref in zip(outcomes, baseline):
+            assert np.array_equal(ours.result, ref.result)  # bit-identical
+            assert ours.measured_cycles == ref.measured_cycles
+            assert ours.predicted_cycles == ref.predicted_cycles
+            assert ours.algorithm == ref.algorithm
+
+    def test_identical_specs_share_one_plan_per_process(self, rng):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        datas = [rng.normal(size=(8, 16)) for _ in range(5)]
+        outs = sweep([spec] * 5, datas, workers=1)
+        assert [o.measured_cycles for o in outs] == [outs[0].measured_cycles] * 5
+        # Serial path goes through the process-wide cache: one miss.
+        assert wse.cache_info()["misses"] == 1
+
+    def test_parallel_sweeps_plan_in_the_parent(self, rng):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        datas = [rng.normal(size=(8, 16)) for _ in range(4)]
+        engine = SweepEngine(workers=2)
+        engine.sweep([spec] * 4, datas)
+        engine.sweep([spec] * 4, datas)
+        # Distinct specs plan once for the whole engine lifetime —
+        # in this process, not opaquely inside pool workers.
+        assert wse.cache_info() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_parallel_sweep_honors_installed_tuner(self, rng, tmp_path):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        analytic = planner.rank_spec(spec)
+        loser = next(
+            name for name in analytic.candidates
+            if name != analytic.algorithm
+        )
+        db = TuneDB(tmp_path / "db.jsonl")
+        db.record(spec, winner_algorithm=loser, measured={loser: 1})
+        datas = [rng.normal(size=(8, 16)) for _ in range(3)]
+        with use_tuner(db):
+            outs = SweepEngine(workers=2).sweep([spec] * 3, datas)
+        # Workers execute the parent's (tuned) plan — no divergence.
+        assert all(o.algorithm == loser for o in outs)
+
+    def test_length_mismatch_rejected(self, rng):
+        engine = SweepEngine(workers=2)
+        with pytest.raises(ValueError, match="specs"):
+            engine.sweep(
+                [CollectiveSpec("reduce", Grid(1, 4), 8)],
+                [rng.normal(size=(4, 8))] * 2,
+            )
+
+    def test_infeasible_spec_raises_like_run_many(self, rng):
+        bad = CollectiveSpec("allreduce", Grid(1, 4), 10, algorithm="ring")
+        good = CollectiveSpec("reduce", Grid(1, 4), 8)
+        datas = [rng.normal(size=(4, 10)), rng.normal(size=(4, 8))]
+        with pytest.raises(ValueError, match="ring"):
+            SweepEngine(workers=2).sweep([bad, good], datas)
+        with pytest.raises(ValueError, match="ring"):
+            SweepEngine(workers=1).sweep([bad, good], datas)
+
+    def test_stats_accumulate(self, rng):
+        specs, datas = _mixed_batch(rng, repeats=1)
+        engine = SweepEngine(workers=2)
+        engine.sweep(specs, datas)
+        engine.sweep(specs, datas)
+        stats = engine.stats
+        assert stats.points == 2 * len(specs)
+        assert stats.sweeps == 2
+        assert stats.distinct_specs == 2 * 4
+        assert stats.workers >= 1
+        assert stats.wall_time > 0
+        assert stats.points_per_second > 0
+        assert stats.as_dict()["points"] == stats.points
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            SweepEngine(workers=0)
+        assert default_workers() >= 1
+
+    def test_bench_worker_env_resolution(self, monkeypatch):
+        from repro.bench.sweeps import _sweep_workers
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert _sweep_workers(None) == 1
+        assert _sweep_workers(3) == 3
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        assert _sweep_workers(None) == 4
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")  # off switch
+        assert _sweep_workers(None) == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "auto")
+        with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS"):
+            _sweep_workers(None)
+
+
+class TestTuneDB:
+    def test_round_trip(self, tmp_path):
+        db = TuneDB(tmp_path / "db.jsonl")
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        db.record(spec, predicted_cycles=123.0, measured_cycles=130,
+                  winner_algorithm="tree", measured={"tree": 130, "chain": 150})
+        reloaded = TuneDB(db.path)
+        assert len(reloaded) == 1
+        record = reloaded.lookup(spec)
+        assert record.predicted_cycles == 123.0
+        assert record.measured_cycles == 130
+        assert record.winner_algorithm == "tree"
+        assert record.measured == {"tree": 130, "chain": 150}
+        assert record.spec() == spec
+
+    def test_spec_key_round_trip_preserves_params(self):
+        from repro.model.params import CS2
+        spec = CollectiveSpec("allreduce", Grid(4, 4), 32, op="max",
+                              algorithm="chain", xy=True,
+                              params=CS2.with_ramp_latency(5))
+        assert spec_from_key(spec_to_key(spec)) == spec
+        # JSON round-trip too (what actually hits the disk).
+        assert spec_from_key(json.loads(json.dumps(spec_to_key(spec)))) == spec
+
+    def test_last_record_wins_merge(self, tmp_path):
+        db = TuneDB(tmp_path / "db.jsonl")
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        db.record(spec, predicted_cycles=100.0)
+        db.record(spec, measured_cycles=110, winner_algorithm="chain",
+                  measured={"chain": 110})
+        reloaded = TuneDB(db.path)
+        record = reloaded.lookup(spec)
+        assert record.predicted_cycles == 100.0  # merged, not overwritten
+        assert record.winner_algorithm == "chain"
+
+    def test_corruption_tolerance(self, tmp_path):
+        db = TuneDB(tmp_path / "db.jsonl")
+        spec_a = CollectiveSpec("reduce", Grid(1, 8), 16)
+        spec_b = CollectiveSpec("broadcast", Grid(1, 4), 8)
+        db.record(spec_a, winner_algorithm="tree", measured={"tree": 10})
+        with open(db.path, "a") as fh:
+            fh.write("{not json at all\n")
+            fh.write('{"schema": 999, "key": {}}\n')          # bad schema
+            fh.write('{"schema": 1, "key": {"kind": "nope"}}\n')  # bad spec
+            fh.write("\n")                                     # blank line
+        db.record(spec_b, winner_algorithm="flood", measured={"flood": 5})
+        reloaded = TuneDB(db.path)
+        assert len(reloaded) == 2
+        assert reloaded.corrupt_lines == 3
+        assert reloaded.winner(spec_a) == "tree"
+        assert reloaded.winner(spec_b) == "flood"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        db = TuneDB(tmp_path / "absent.jsonl")
+        assert len(db) == 0
+        assert db.lookup(CollectiveSpec("reduce", Grid(1, 4), 8)) is None
+
+
+class TestTunerOverridesPlanner:
+    def test_measured_winner_overrides_analytic_pick(self, tmp_path):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        analytic = planner.rank_spec(spec)
+        # Forge a DB that swears a *different* algorithm measured fastest.
+        loser = next(
+            name for name in analytic.candidates
+            if name != analytic.algorithm
+        )
+        db = TuneDB(tmp_path / "db.jsonl")
+        db.record(spec, winner_algorithm=loser, measured={loser: 1})
+        tuned = planner.rank_spec(spec, tuner=Tuner(db))
+        assert tuned.algorithm == loser
+        assert tuned.tuned is True
+        assert tuned.candidates == analytic.candidates  # analytic ranking kept
+
+    def test_no_measurements_means_no_override(self, tmp_path):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        analytic = planner.rank_spec(spec)
+        loser = next(
+            name for name in analytic.candidates
+            if name != analytic.algorithm
+        )
+        db = TuneDB(tmp_path / "db.jsonl")
+        db.record(spec, winner_algorithm=loser)  # claim without measurements
+        tuned = planner.rank_spec(spec, tuner=Tuner(db))
+        assert tuned.algorithm == analytic.algorithm
+        assert tuned.tuned is False
+
+    def test_winner_outside_candidates_is_ignored(self, tmp_path):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        db = TuneDB(tmp_path / "db.jsonl")
+        db.record(spec, winner_algorithm="ring", measured={"ring": 1})
+        tuned = planner.rank_spec(spec, tuner=Tuner(db))
+        assert tuned.algorithm == planner.rank_spec(spec).algorithm
+
+    def test_use_tuner_scopes_the_override_and_cache(self, tmp_path):
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        analytic_plan = wse.plan(spec)
+        loser = next(
+            name for name in analytic_plan.choice.candidates
+            if name != analytic_plan.algorithm
+        )
+        db = TuneDB(tmp_path / "db.jsonl")
+        db.record(spec, winner_algorithm=loser, measured={loser: 1})
+        with use_tuner(db):
+            tuned_plan = wse.plan(spec)
+            assert tuned_plan.algorithm == loser
+            assert tuned_plan.choice.tuned is True
+        # Cache was invalidated on exit; planning is analytic again.
+        assert wse.plan(spec).algorithm == analytic_plan.algorithm
+
+    def test_tune_driver_measures_all_feasible_candidates(self, tmp_path):
+        spec = CollectiveSpec("reduce", Grid(1, 4), 8)
+        db = tune([spec], db=TuneDB(tmp_path / "db.jsonl"),
+                  engine=SweepEngine(workers=1))
+        record = db.lookup(spec)
+        assert set(record.measured) == {
+            "star", "chain", "tree", "two_phase", "autogen",
+        }
+        assert record.winner_algorithm == min(
+            record.measured, key=lambda n: (record.measured[n], n)
+        )
+        assert db.winner(spec) == record.winner_algorithm
+        # Forced duplicates normalize to one auto record.
+        assert len(db) == 1
+
+
+class TestPersistenceAcrossProcesses:
+    def test_warm_db_hydrates_a_fresh_process(self, tmp_path):
+        db_path = tmp_path / "db.jsonl"
+        spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+        # Write the DB in a *child* process, then hydrate here.
+        script = textwrap.dedent("""
+            from repro import CollectiveSpec, Grid
+            from repro.engine import SweepEngine, TuneDB, tune
+            spec = CollectiveSpec("reduce", Grid(1, 8), 16)
+            db = tune([spec], db=TuneDB({path!r}),
+                      engine=SweepEngine(workers=1))
+            assert db.winner(spec) is not None
+        """).format(path=str(db_path))
+        env = os.environ.copy()
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+
+        db = TuneDB(db_path)
+        assert len(db) == 1
+        cache = PlanCache()
+        hydrated = db.hydrate_plan_cache(cache=cache)
+        assert hydrated == 1
+        # The warm cache reports hits before this process planned anything.
+        assert cache.stats()["hits"] > 0
+        # And a user-level plan of the recorded spec never hits a builder.
+        plan = cache.get_or_plan(
+            spec, lambda s: pytest.fail("should have been hydrated")
+        )
+        assert plan.spec == spec
+
+    def test_hydrate_skips_stale_specs(self, tmp_path):
+        db = TuneDB(tmp_path / "db.jsonl")
+        db.record(CollectiveSpec("reduce", Grid(1, 8), 16))
+        # Corrupt one record's key behind the store's back: a spec the
+        # registry can't plan (unknown algorithm) must be skipped.
+        stale = CollectiveSpec("reduce", Grid(1, 8), 16, algorithm="tree")
+        record = db.record(stale)
+        record.key["algorithm"] = "does-not-exist"
+        db._append(record)
+        reloaded = TuneDB(db.path)
+        cache = PlanCache()
+        assert reloaded.hydrate_plan_cache(cache=cache) == len(reloaded) - 1
