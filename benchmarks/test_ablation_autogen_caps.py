@@ -12,7 +12,6 @@ quantifies the pruning:
   the measurable cost of the pruning the hybrid repairs.
 """
 
-import numpy as np
 import pytest
 
 from repro.autogen.dp import autogen_time, default_cap

@@ -13,7 +13,6 @@ few wavelets of per-color buffering for the model's streaming
 assumption to hold.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.collectives import reduce_1d_schedule

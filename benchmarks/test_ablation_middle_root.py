@@ -8,7 +8,6 @@ middle PE, so it wins when latency-bound (long rows, short vectors) and
 loses when contention-bound.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.collectives import (

@@ -6,7 +6,6 @@ performance.  Measure both on the simulator across ring sizes and check
 they agree with each other and with Lemma 6.1.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.collectives import ring_allreduce_schedule

@@ -8,7 +8,6 @@ its true T_R = 2, and check the prediction error is minimized at 2.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import format_table
 from repro.collectives import reduce_1d_schedule

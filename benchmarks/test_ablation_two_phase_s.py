@@ -6,8 +6,6 @@ at (or within a whisker of) the measured optimum, with the extremes
 degrading towards Chain (S = 1 or S = P).
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import format_table
 from repro.collectives import reduce_1d_schedule

@@ -1,25 +1,32 @@
-"""Engine throughput: a 64-point sweep at 1 vs N workers.
+"""Engine throughput: serial vs cold-pool vs warm-session, shm on/off.
 
-Times the same 64-point batch through ``SweepEngine(workers=1)`` (the
-serial plan/execute pipeline) and ``SweepEngine(workers=4+)`` (process
-fan-out), asserts the two agree bit for bit, and writes
-``benchmarks/out/BENCH_engine.json`` with points/sec and the speedup so
-the performance trajectory is tracked across commits.
+Times the same 64-point batch four ways and writes
+``benchmarks/out/BENCH_engine.json``:
 
-The speedup assertion is gated on the CPUs actually available to this
-process: process fan-out cannot beat serial on a single-core box (the
-JSON still records the measured ratio there, honestly below 1x).
+* **serial** — ``SweepEngine(workers=1)``, the plain plan/execute
+  pipeline;
+* **cold** — a fresh ``SweepEngine(workers=N)`` per sweep, paying full
+  pool startup inside the measured window (the pre-session behavior);
+* **warm** — an :class:`EngineSession`'s persistent pool, measured
+  *after* a warm-up sweep, so the startup cost is amortized away;
+* **shm on / off** — the warm session again with the shared-memory data
+  plane forced on (``shm_threshold=0``) and forced off (``-1``),
+  isolating what descriptor shipping saves over pickled buffers.
+
+Every variant must agree with serial bit for bit; the JSON records all
+throughputs and ratios honestly on any machine, while the speedup
+*assertions* are gated on the CPUs actually available to this process
+(process fan-out cannot beat serial on a single-core box).
 """
 
 import json
-import os
 import time
 
 import numpy as np
 import pytest
 
 from repro import CollectiveSpec, Grid
-from repro.engine import SweepEngine, default_workers
+from repro.engine import EngineSession, SweepEngine, default_workers
 
 N_POINTS = 64
 P, B = 64, 192
@@ -43,28 +50,54 @@ def _batch():
     return specs, datas
 
 
-def _timed_sweep(workers, specs, datas):
-    engine = SweepEngine(workers=workers)
+def _timed(runner, specs, datas):
     start = time.perf_counter()
-    outcomes = engine.sweep(specs, datas)
-    return outcomes, time.perf_counter() - start, engine
+    outcomes = runner(specs, datas)
+    return outcomes, time.perf_counter() - start
+
+
+def _assert_identical(outcomes, reference, label):
+    for ours, ref in zip(outcomes, reference):
+        assert np.array_equal(ours.result, ref.result), label
+        assert ours.measured_cycles == ref.measured_cycles, label
+        assert ours.algorithm == ref.algorithm, label
 
 
 def test_engine_throughput_64_points(out_dir):
     specs, datas = _batch()
-    serial_outs, serial_s, _ = _timed_sweep(1, specs, datas)
-    parallel_outs, parallel_s, engine = _timed_sweep(
-        PARALLEL_WORKERS, specs, datas
+    serial_outs, serial_s = _timed(
+        SweepEngine(workers=1).sweep, specs, datas
     )
 
-    # The engine moves points across processes without changing them.
-    for ours, ref in zip(parallel_outs, serial_outs):
-        assert np.array_equal(ours.result, ref.result)
-        assert ours.measured_cycles == ref.measured_cycles
-        assert ours.algorithm == ref.algorithm
+    # Cold: pool startup paid inside the measured window, every time.
+    cold_engine = SweepEngine(workers=PARALLEL_WORKERS)
+    cold_outs, cold_s = _timed(cold_engine.sweep, specs, datas)
+    _assert_identical(cold_outs, serial_outs, "cold pool")
+
+    with EngineSession(workers=PARALLEL_WORKERS) as session:
+        session.sweep(specs, datas)                      # warm-up (cold start)
+        warm_outs, warm_s = _timed(session.sweep, specs, datas)
+        _assert_identical(warm_outs, serial_outs, "warm session")
+        warm_stats = session.stats.as_dict()
+
+    # Shm A/B on a warm pool: all chunks through segments vs none.
+    with EngineSession(workers=PARALLEL_WORKERS, shm_threshold=0) as session:
+        session.sweep(specs, datas)
+        shm_on_outs, shm_on_s = _timed(session.sweep, specs, datas)
+        _assert_identical(shm_on_outs, serial_outs, "shm on")
+        shm_chunks = session.stats.shm_chunks
+        shm_bytes = session.stats.shm_bytes
+    with EngineSession(workers=PARALLEL_WORKERS, shm_threshold=-1) as session:
+        session.sweep(specs, datas)
+        shm_off_outs, shm_off_s = _timed(session.sweep, specs, datas)
+        _assert_identical(shm_off_outs, serial_outs, "shm off")
+        assert session.stats.shm_chunks == 0
 
     cores = default_workers()
-    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+
+    def rate(seconds):
+        return round(N_POINTS / seconds, 2) if seconds > 0 else 0.0
+
     report = {
         "points": N_POINTS,
         "distinct_specs": len(set(specs)),
@@ -72,25 +105,48 @@ def test_engine_throughput_64_points(out_dir):
         "workers": PARALLEL_WORKERS,
         "cores_available": cores,
         "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "points_per_sec_serial": round(N_POINTS / serial_s, 2),
-        "points_per_sec_parallel": round(N_POINTS / parallel_s, 2),
-        "speedup": round(speedup, 3),
-        "parallel_points": engine.stats.parallel_points,
-        "chunks": engine.stats.chunks,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "shm_on_seconds": round(shm_on_s, 3),
+        "shm_off_seconds": round(shm_off_s, 3),
+        "points_per_sec_serial": rate(serial_s),
+        "points_per_sec_cold": rate(cold_s),
+        "points_per_sec_warm": rate(warm_s),
+        "points_per_sec_shm_on": rate(shm_on_s),
+        "points_per_sec_shm_off": rate(shm_off_s),
+        "speedup_cold_vs_serial": round(serial_s / cold_s, 3) if cold_s else 0.0,
+        "speedup_warm_vs_serial": round(serial_s / warm_s, 3) if warm_s else 0.0,
+        "speedup_warm_vs_cold": round(cold_s / warm_s, 3) if warm_s else 0.0,
+        "speedup_shm_on_vs_off": (
+            round(shm_off_s / shm_on_s, 3) if shm_on_s else 0.0
+        ),
+        "shm_chunks": shm_chunks,
+        "shm_bytes": shm_bytes,
+        "warm_pool_reuses": warm_stats["pool_reuses"],
+        "warm_cold_starts": warm_stats["cold_starts"],
+        "chunks": warm_stats["chunks"],
     }
     (out_dir / "BENCH_engine.json").write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n"
     )
     print(f"\n===== BENCH_engine =====\n{json.dumps(report, indent=2)}\n")
 
-    assert engine.stats.parallel_points == N_POINTS  # pool really ran
+    # Structural honesty on any core count: the pools really ran, the
+    # warm session really reused its pool, shm really carried the bytes.
+    assert cold_engine.stats.parallel_points == N_POINTS
+    assert warm_stats["parallel_points"] == 2 * N_POINTS
+    assert warm_stats["cold_starts"] == 1
+    assert warm_stats["pool_reuses"] == 1
+    assert shm_chunks > 0
+    assert shm_bytes > 0
+
+    speedup = report["speedup_warm_vs_serial"]
     if cores >= 4:
         assert speedup >= 2.0, report
     elif cores >= 2:
         assert speedup >= 1.2, report
     else:
         pytest.skip(
-            f"single core available (speedup {speedup:.2f}x recorded in "
-            "BENCH_engine.json); the >=2x criterion needs >=4 cores"
+            f"single core available (warm speedup {speedup:.2f}x recorded "
+            "in BENCH_engine.json); the >=2x criterion needs >=4 cores"
         )

@@ -11,7 +11,6 @@ Shape claims:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import (
     VECTOR_LENGTH_BYTES,

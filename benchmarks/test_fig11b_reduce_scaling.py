@@ -17,7 +17,6 @@ budget (Star genuinely routes B P^2 / 2 wavelet-hops); those cells report
 predictions only, as recorded in EXPERIMENTS.md.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import format_sweep_vs_bytes, reduce_1d_sweep

@@ -11,7 +11,6 @@ plots without implementing.  Shape claims from §8.6:
   which is why the paper "refrains from providing an implementation".
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import allreduce_1d_sweep, format_sweep_vs_bytes

@@ -9,7 +9,6 @@ Shape claims from §8.6 (scaling PE count):
 * the same chain/two-phase crossover as for Reduce.
 """
 
-import pytest
 
 from repro.bench import PE_COUNTS, allreduce_1d_sweep, format_sweep_vs_pes
 from repro.model import analytic

@@ -15,7 +15,6 @@ Shape claims (§8.7):
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import format_sweep_vs_bytes, reduce_2d_sweep
 from repro.core import registry

@@ -12,7 +12,6 @@ validation sweep.  Shape claims:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import allreduce_2d_sweep, format_sweep_vs_bytes
 from repro.core import registry

@@ -11,7 +11,6 @@ Model-driven across all grids, with measured validation up to 16x16.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import format_sweep_vs_pes, reduce_2d_sweep
 from repro.core import registry

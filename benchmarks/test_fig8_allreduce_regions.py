@@ -12,7 +12,6 @@ Regenerates the region map over the paper's full axes.  Shape claims:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import (
     PE_COUNTS,

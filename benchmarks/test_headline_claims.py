@@ -20,7 +20,6 @@ and introduction, each regenerated from our model / simulator:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import (
     PE_COUNTS,

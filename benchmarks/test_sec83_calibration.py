@@ -10,8 +10,6 @@ the trigger propagation span, so smaller grids are strictly easier —
 matching the envelope at reduced scale validates the mechanism).
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import format_table
 from repro.collectives import reduce_1d_schedule, xy_reduce_schedule

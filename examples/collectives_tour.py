@@ -4,9 +4,10 @@ Beyond the paper's Reduce/AllReduce/Broadcast, the library provides the
 data-movement collectives a real deployment needs (Gather, Scatter,
 AllGather, ReduceScatter), the butterfly AllReduce the paper only
 predicts, and the middle-root optimization of §6.1.  The whole suite is
-expressed as one batch of ``CollectiveSpec``s and executed through
-``engine.sweep`` — one plan per distinct spec, simulations fanned out by
-the sweep engine — then checked against NumPy.  Finally the two-phase
+expressed as one batch of ``CollectiveSpec``s and executed through a
+persistent ``EngineSession`` — one plan per distinct spec, simulations
+fanned out by one warm worker pool — then checked against NumPy.
+Finally the two-phase
 Reduce's execution timeline is rendered: the ASCII picture makes the
 pattern's two chained phases directly visible.
 
@@ -23,7 +24,7 @@ from repro.collectives import (
     middle_root_allreduce_schedule,
     reduce_1d_schedule,
 )
-from repro.engine import SweepEngine
+from repro.engine import EngineSession
 from repro.fabric import Tracer, link_utilization, render_timeline, row_grid, simulate
 
 P, B = 16, 32
@@ -47,8 +48,8 @@ def main() -> None:
         ("allgather", CollectiveSpec("allgather", grid_1d, B)),
         ("reduce_scatter", CollectiveSpec("reduce_scatter", grid_1d, B)),
     ]
-    engine = SweepEngine()
-    outs = engine.sweep([spec for _, spec in tour], [data] * len(tour))
+    with EngineSession() as session:
+        outs = session.sweep([spec for _, spec in tour], [data] * len(tour))
     by_label = dict(zip([label for label, _ in tour], outs))
 
     out = by_label["reduce (auto)"]
@@ -93,7 +94,7 @@ def main() -> None:
     for name, alg, cycles in rows:
         print(f"  {name:<{width}}  {alg:<18} {cycles:>6} cycles")
 
-    stats = engine.stats
+    stats = session.stats
     print(f"\nsweep engine: {stats.points} points over "
           f"{stats.distinct_specs} distinct specs, "
           f"workers = {stats.workers}, wall = {stats.wall_time:.3f}s")

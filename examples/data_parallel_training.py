@@ -9,10 +9,12 @@ the end-to-end impact of the paper's contribution on a real training
 loop.
 
 All algorithm variants train side by side, and each step's AllReduces
-are submitted as *one* ``engine.sweep`` batch: the specs are identical
-across steps, so every algorithm is planned exactly once for the whole
-run (the one-plan-many-executes contract), and the engine decides where
-the simulations run.
+are submitted as *one* batch to a persistent :class:`EngineSession`: the
+specs are identical across steps, so every algorithm is planned exactly
+once for the whole run (the one-plan-many-executes contract), and the
+session keeps one warm worker pool across all training steps instead of
+paying pool startup per step (``stats.cold_starts`` vs
+``stats.pool_reuses`` shows the amortization).
 
 Usage::
 
@@ -22,7 +24,7 @@ Usage::
 import numpy as np
 
 from repro import CS2, CollectiveSpec, Grid, wse
-from repro.engine import SweepEngine
+from repro.engine import EngineSession
 
 GRID = (32, 32)        # 1024 workers
 FEATURES = 16          # model size = AllReduce vector length B
@@ -49,9 +51,9 @@ def local_gradient(w, shard):
     return x.T @ residual / len(y)
 
 
-def train_all(engine: SweepEngine, rng_seed: int = 0):
+def train_all(engine: EngineSession, rng_seed: int = 0):
     """Train one weight vector per algorithm, batching each step's
-    AllReduces through the engine."""
+    AllReduces through a persistent engine session."""
     rng = np.random.default_rng(rng_seed)
     true_w, shards = make_problem(rng)
     grid = Grid(*GRID)
@@ -88,8 +90,8 @@ def train_all(engine: SweepEngine, rng_seed: int = 0):
 def main() -> None:
     print(f"Synchronous SGD on a {GRID[0]}x{GRID[1]} wafer grid, "
           f"{FEATURES}-parameter model, {STEPS} steps\n")
-    engine = SweepEngine()
-    errors, cycles, resolved = train_all(engine)
+    with EngineSession() as session:
+        errors, cycles, resolved = train_all(session)
     for alg in ALGORITHMS:
         label = f"{alg} -> {resolved[alg]}" if alg == "auto" else alg
         print(f"  {label:20s} comm = {cycles[alg]:7d} cycles "
@@ -103,11 +105,13 @@ def main() -> None:
     print("(The paper reports up to 2.54x for 2D AllReduce on the full "
           "512x512 wafer.)")
 
-    stats = engine.stats
+    stats = session.stats
     info = wse.cache_info()
     print(f"\nsweep engine: {stats.points} AllReduces in {stats.sweeps} "
           f"batches, wall = {stats.wall_time:.2f}s; plan cache: "
-          f"{info['misses']} misses for {stats.points} executions")
+          f"{info['misses']} misses for {stats.points} executions; "
+          f"pool: {stats.cold_starts} cold starts, "
+          f"{stats.pool_reuses} warm reuses")
 
 
 if __name__ == "__main__":

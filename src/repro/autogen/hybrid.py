@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 
 from ..model.params import CS2, MachineParams
-from .dp import autogen_tables, autogen_time_curve
+from .dp import autogen_time_curve
 from .tree import (
     ReductionTree,
     autogen_tree,

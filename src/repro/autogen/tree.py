@@ -13,7 +13,7 @@ all special cases; the Auto-Gen tree is reconstructed from the DP of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 

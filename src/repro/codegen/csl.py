@@ -12,9 +12,9 @@ they double as documentation of what each PE does.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from ..fabric.geometry import PORT_NAMES, Grid
+from ..fabric.geometry import PORT_NAMES
 from ..fabric.ir import (
     Delay,
     Recv,

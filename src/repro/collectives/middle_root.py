@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
 
 from ..fabric.geometry import Grid, Port
 from ..fabric.ir import Recv, RouterRule, Schedule, Send, merge_sequential

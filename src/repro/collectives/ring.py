@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..fabric.geometry import Grid, Port, opposite_port
+from ..fabric.geometry import Grid, Port
 from ..fabric.ir import RouterRule, Schedule, SendRecv
 from .lanes import validate_lane
 

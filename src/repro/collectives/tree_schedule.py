@@ -24,12 +24,11 @@ Lowering rules (Section 5.5 and Figure 6):
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..autogen.tree import ReductionTree
-from ..fabric.geometry import Grid, Port, opposite_port
+from ..fabric.geometry import Grid, Port
 from ..fabric.ir import (
-    PEProgram,
     Recv,
     RecvReduceSend,
     RouterRule,

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from ..autogen.tree import autogen_tree
 from ..fabric.geometry import Grid
 from ..fabric.ir import Schedule, merge_parallel, merge_sequential
 from ..model.params import CS2, MachineParams

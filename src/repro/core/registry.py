@@ -22,10 +22,9 @@ planner consume.  New algorithms plug in via :func:`register_collective`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
-import numpy as np
 
 from ..autogen.hybrid import autogen_hybrid_time
 from ..collectives import COLLECTIVE_KINDS, build_schedule

@@ -9,6 +9,15 @@ contract out and makes it durable:
   plan per chunk), deterministically ordered, bit-identical to the
   serial path, with a serial fallback for ``workers=1`` and batches
   that cannot cross a process boundary;
+* :mod:`repro.engine.session` — :class:`EngineSession`, a persistent
+  worker session: one warm pool reused across many sweeps
+  (``stats.pool_reuses`` vs ``stats.cold_starts``), plan-cache and
+  tuner state re-hydrated into workers on attach, installable as the
+  module default (:func:`use_session` / :func:`set_session`);
+* :mod:`repro.engine.shm` — the shared-memory data plane: chunks whose
+  arrays clear a size threshold ship ``(name, shape, dtype, offset)``
+  descriptors into ``multiprocessing.shared_memory`` segments instead
+  of pickled per-PE buffers, bit-identical and leak-free by protocol;
 * :mod:`repro.engine.store` — :class:`TuneDB` / :class:`PlanStore`, an
   append-only JSON-lines store mapping frozen specs to
   ``{predicted_cycles, measured_cycles, winner_algorithm}``; survives
@@ -17,8 +26,9 @@ contract out and makes it durable:
 * :mod:`repro.engine.autotune` — :func:`tune` measures every feasible
   candidate per spec and records winners; :func:`set_tuner` /
   :func:`use_tuner` let those measured winners override the analytic
-  planner for ``algorithm="auto"``;
-* :mod:`repro.engine.runner` — the :func:`sweep` façade.
+  planner;
+* :mod:`repro.engine.runner` — the :func:`sweep` façade (routes to the
+  default session when one is installed).
 
 Quickstart::
 
@@ -28,17 +38,24 @@ Quickstart::
     spec = CollectiveSpec("reduce", Grid(1, 64), 256)
     datas = [np.random.default_rng(s).normal(size=(64, 256))
              for s in range(32)]
-    outs = engine.sweep([spec] * 32, datas, workers=4)   # one plan, 32 sims
+
+    with engine.use_session(workers=4) as session:
+        outs = engine.sweep([spec] * 32, datas)    # cold start ...
+        outs = engine.sweep([spec] * 32, datas)    # ... warm reuse
+        print(session.stats.pool_reuses)           # 1
 """
 
 from .autotune import Tuner, set_tuner, tune, use_tuner
 from .pool import EngineStats, SweepEngine, default_workers
 from .runner import sweep
+from .session import EngineSession, get_session, set_session, use_session
 from .store import (
     PlanStore,
     TuneDB,
     TuneRecord,
     default_db_path,
+    hydrate_keys,
+    plan_cache_keys,
     spec_from_key,
     spec_to_key,
 )
@@ -48,6 +65,10 @@ __all__ = [
     "SweepEngine",
     "default_workers",
     "sweep",
+    "EngineSession",
+    "get_session",
+    "set_session",
+    "use_session",
     "tune",
     "Tuner",
     "set_tuner",
@@ -58,4 +79,6 @@ __all__ = [
     "default_db_path",
     "spec_to_key",
     "spec_from_key",
+    "plan_cache_keys",
+    "hydrate_keys",
 ]

@@ -28,7 +28,7 @@ one deterministic random input.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 import numpy as np
 

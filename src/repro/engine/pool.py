@@ -16,35 +16,53 @@ batch as :func:`repro.core.api.run_many` and fans it out over a
   the multiprocessing start method;
 * **deterministic ordering** — results are reassembled by original
   index; the outcome list is bit-identical to the serial path no matter
-  how many workers ran (simulation is pure, pickling is lossless);
+  how many workers ran (simulation is pure, transport is lossless);
 * **serial fallback** — ``workers=1``, single-point batches, daemonic
   processes (a pool cannot nest inside a pool worker) and batches the
   pool cannot transport (pickling failures, a broken pool) all fall back
   to in-process execution; the engine *changes where points run, never
   what they compute*.
 
-The ``fork`` start method is preferred when the platform offers it
-(cheapest worker startup); correctness does not depend on it.
+Two transports move a chunk's arrays across the process boundary:
+
+* small chunks are pickled through the pool's pipes, exactly as before;
+* chunks whose input arrays total at least ``shm_threshold`` bytes go
+  through the shared-memory data plane (:mod:`repro.engine.shm`): the
+  parent packs the inputs into one named segment and ships ``(name,
+  shape, dtype, offset)`` descriptors, and the worker packs the heavy
+  result arrays (per-PE buffers, the collective result) into a reply
+  segment the parent reads and unlinks.  Both directions copy bytes
+  verbatim, so outcomes stay bit-identical; every segment is unlinked
+  in a ``finally`` even when a worker raises.
+
+Pool lifetime is normally per-sweep (an ephemeral pool, one
+``cold_start`` each); a :class:`~repro.engine.session.EngineSession` can
+:meth:`attach_pool` a long-lived executor so consecutive sweeps reuse
+warm workers (counted in ``stats.pool_reuses``).  The ``fork`` start
+method is preferred when the platform offers it (cheapest worker
+startup); correctness does not depend on it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import multiprocessing
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.api import CollectiveOutcome, Plan, execute, plan
 from ..core.registry import CollectiveSpec
+from . import shm
 
-__all__ = ["SweepEngine", "EngineStats"]
+__all__ = ["SweepEngine", "EngineStats", "default_workers"]
 
 
 def default_workers() -> int:
@@ -66,13 +84,110 @@ def _pool_context():
 def _run_chunk(
     chunk_plan: Plan, datas: List[np.ndarray]
 ) -> List[CollectiveOutcome]:
-    """Worker body: execute every point of a chunk against its one plan.
+    """Worker body (pickle transport): execute every point of a chunk.
 
     The plan arrives fully built from the parent, so workers never plan
     — execution state cannot depend on what the worker process knows
     (registry contents, tuner hooks, start method).
     """
     return [execute(chunk_plan, data) for data in datas]
+
+
+@dataclass
+class _ShmReply:
+    """A chunk's outcomes with the heavy arrays parked in a segment.
+
+    ``outcomes`` are real :class:`CollectiveOutcome` objects whose
+    ``result`` and ``sim.buffers`` values are :class:`~repro.engine.shm.
+    ArrayRef` placeholders; :func:`_restore_outcomes` swaps the arrays
+    back in on the parent side.
+    """
+
+    segment: shm.Segment
+    outcomes: List[CollectiveOutcome]
+
+
+def _strip_outcomes(
+    outcomes: List[CollectiveOutcome],
+) -> _ShmReply:
+    """Pack every heavy array of ``outcomes`` into one reply segment."""
+    arrays: List[np.ndarray] = []
+    for outcome in outcomes:
+        arrays.append(np.ascontiguousarray(outcome.result))
+        for pe in sorted(outcome.sim.buffers):
+            arrays.append(np.ascontiguousarray(outcome.sim.buffers[pe]))
+    segment, refs = shm.pack(arrays)
+    try:
+        stripped: List[CollectiveOutcome] = []
+        cursor = iter(refs)
+        for outcome in outcomes:
+            result_ref = next(cursor)
+            buffer_refs = {pe: next(cursor) for pe in sorted(outcome.sim.buffers)}
+            stripped.append(dataclasses.replace(
+                outcome,
+                result=result_ref,
+                sim=dataclasses.replace(outcome.sim, buffers=buffer_refs),
+            ))
+    except BaseException:  # pragma: no cover - replace() cannot really fail
+        shm.unlink(segment.name)
+        raise
+    return _ShmReply(segment, stripped)
+
+
+def _restore_outcomes(reply: _ShmReply) -> List[CollectiveOutcome]:
+    """Materialize a reply's arrays out of its segment, then unlink it."""
+    refs: List[shm.ArrayRef] = []
+    for outcome in reply.outcomes:
+        refs.append(outcome.result)
+        refs.extend(outcome.sim.buffers[pe] for pe in sorted(outcome.sim.buffers))
+    try:
+        arrays = shm.read(reply.segment, refs)
+    finally:
+        shm.unlink(reply.segment.name)
+    cursor = iter(arrays)
+    restored: List[CollectiveOutcome] = []
+    for outcome in reply.outcomes:
+        result = next(cursor)
+        buffers = {pe: next(cursor) for pe in sorted(outcome.sim.buffers)}
+        restored.append(dataclasses.replace(
+            outcome,
+            result=result,
+            sim=dataclasses.replace(outcome.sim, buffers=buffers),
+        ))
+    return restored
+
+
+def _run_chunk_shm(
+    chunk_plan: Plan, segment: shm.Segment, refs: List[shm.ArrayRef]
+) -> _ShmReply:
+    """Worker body (shm transport): inputs and outputs via segments.
+
+    Input views are read-only — ``execute`` copies what it keeps — and
+    the input segment belongs to the parent (it unlinks after this
+    future resolves).  The reply segment is created here but ownership
+    passes to the parent with the returned descriptor.
+    """
+    datas, mem = shm.read(segment, refs, copy=False)
+    try:
+        outcomes = [execute(chunk_plan, data) for data in datas]
+    finally:
+        mem.close()
+    return _strip_outcomes(outcomes)
+
+
+_ChunkReply = Union[List[CollectiveOutcome], _ShmReply]
+
+
+def _consume_reply(reply: _ChunkReply) -> List[CollectiveOutcome]:
+    if isinstance(reply, _ShmReply):
+        return _restore_outcomes(reply)
+    return reply
+
+
+def _discard_reply(reply: _ChunkReply) -> None:
+    """Release a reply that will never be consumed (error paths)."""
+    if isinstance(reply, _ShmReply):
+        shm.unlink(reply.segment.name)
 
 
 @dataclass
@@ -94,6 +209,12 @@ class EngineStats:
     workers: int = 0
     #: total wall-clock seconds spent inside sweep().
     wall_time: float = 0.0
+    #: parallel sweeps that had to create a pool / reused a warm one.
+    cold_starts: int = 0
+    pool_reuses: int = 0
+    #: chunks (and input bytes) that went through the shm data plane.
+    shm_chunks: int = 0
+    shm_bytes: int = 0
 
     @property
     def points_per_second(self) -> float:
@@ -110,6 +231,10 @@ class EngineStats:
             "workers": self.workers,
             "wall_time": self.wall_time,
             "points_per_second": self.points_per_second,
+            "cold_starts": self.cold_starts,
+            "pool_reuses": self.pool_reuses,
+            "shm_chunks": self.shm_chunks,
+            "shm_bytes": self.shm_bytes,
         }
 
 
@@ -117,14 +242,18 @@ class SweepEngine:
     """Drop-in parallel executor for ``run_many``-style batches.
 
     ``workers=None`` uses every CPU the process may schedule on;
-    ``workers=1`` is exactly the serial pipeline.  One engine can run
-    many sweeps; :attr:`stats` accumulates across them.
+    ``workers=1`` is exactly the serial pipeline.  ``shm_threshold``
+    (bytes) decides which chunks use the shared-memory data plane:
+    ``None`` resolves the default (``REPRO_SHM_THRESHOLD`` env or
+    1 MiB), a negative value disables it.  One engine can run many
+    sweeps; :attr:`stats` accumulates across them.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         chunks_per_worker: int = 4,
+        shm_threshold: Optional[int] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -134,7 +263,29 @@ class SweepEngine:
                 f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
             )
         self.chunks_per_worker = chunks_per_worker
+        self.shm_threshold = shm.resolve_threshold(shm_threshold)
         self.stats = EngineStats()
+        self._pool: Optional[Executor] = None
+        self._pool_warm = False
+
+    # -- persistent pool (managed by EngineSession) -------------------------
+
+    @property
+    def pool(self) -> Optional[Executor]:
+        """The attached persistent executor, if a session installed one."""
+        return self._pool
+
+    def attach_pool(self, pool: Executor) -> None:
+        """Adopt a long-lived executor; sweeps reuse it instead of
+        creating a pool each time.  The caller owns its shutdown."""
+        self._pool = pool
+        self._pool_warm = False
+
+    def detach_pool(self) -> Optional[Executor]:
+        """Release the persistent executor (returned for shutdown)."""
+        pool, self._pool = self._pool, None
+        self._pool_warm = False
+        return pool
 
     # -- public -------------------------------------------------------------
 
@@ -172,7 +323,14 @@ class SweepEngine:
                 outcomes, n_chunks, used_workers = self._sweep_parallel(
                     plans, datas, groups
                 )
-            except (pickle.PicklingError, BrokenProcessPool, OSError):
+            except BrokenProcessPool:
+                # A dead pool cannot be reused; drop it so a session can
+                # attach a fresh one, and compute this batch in-process.
+                broken = self.detach_pool()
+                if broken is not None:
+                    broken.shutdown(wait=False)
+                outcomes = None
+            except (pickle.PicklingError, OSError):
                 # The batch (or the platform) cannot cross a process
                 # boundary; the serial path below computes the same thing.
                 outcomes = None
@@ -220,6 +378,38 @@ class SweepEngine:
                 chunks.append((spec, indices[start:start + target]))
         return chunks
 
+    def _use_shm(self, chunk_datas: List[np.ndarray]) -> bool:
+        if self.shm_threshold is None:
+            return False
+        return sum(
+            np.asarray(data).nbytes for data in chunk_datas
+        ) >= self.shm_threshold
+
+    def _submit_chunk(
+        self,
+        pool: Executor,
+        chunk_plan: Plan,
+        chunk_datas: List[np.ndarray],
+    ) -> Tuple[Future, Optional[shm.Segment]]:
+        """Ship one chunk via shm (large) or pickle (small).
+
+        Returns the future plus the input segment the parent now owns
+        (``None`` on the pickle path).
+        """
+        if not self._use_shm(chunk_datas):
+            return pool.submit(_run_chunk, chunk_plan, chunk_datas), None
+        segment, refs = shm.pack(
+            [np.asarray(data, dtype=np.float64) for data in chunk_datas]
+        )
+        try:
+            future = pool.submit(_run_chunk_shm, chunk_plan, segment, refs)
+        except BaseException:
+            shm.unlink(segment.name)
+            raise
+        self.stats.shm_chunks += 1
+        self.stats.shm_bytes += segment.nbytes
+        return future, segment
+
     def _sweep_parallel(
         self,
         plans: "Dict[CollectiveSpec, Plan]",
@@ -228,17 +418,69 @@ class SweepEngine:
     ) -> Tuple[List[CollectiveOutcome], int, int]:
         chunks = self._chunks(groups, len(datas))
         used = min(self.workers, len(chunks))
+        if self._pool is not None:
+            pool = self._pool
+            if self._pool_warm:
+                self.stats.pool_reuses += 1
+            else:
+                self.stats.cold_starts += 1
+                self._pool_warm = True
+            ephemeral = None
+        else:
+            pool = ephemeral = ProcessPoolExecutor(
+                max_workers=used, mp_context=_pool_context()
+            )
+            self.stats.cold_starts += 1
+        try:
+            results = self._run_chunks(pool, plans, datas, chunks)
+        finally:
+            if ephemeral is not None:
+                ephemeral.shutdown()
+        return results, len(chunks), used
+
+    def _run_chunks(
+        self,
+        pool: Executor,
+        plans: "Dict[CollectiveSpec, Plan]",
+        datas: List[np.ndarray],
+        chunks: List[Tuple[CollectiveSpec, List[int]]],
+    ) -> List[CollectiveOutcome]:
+        """Submit every chunk, reassemble in order, never leak a segment.
+
+        Input segments are parent-owned: unlinked in the ``finally`` once
+        their future has resolved (a worker must be able to attach by
+        name until then, so the wait-then-unlink order matters).  Reply
+        segments are adopted when a result is consumed; replies of
+        futures abandoned by an error are drained and discarded so their
+        segments are unlinked too.
+        """
         results: List[Optional[CollectiveOutcome]] = [None] * len(datas)
-        with ProcessPoolExecutor(
-            max_workers=used, mp_context=_pool_context()
-        ) as pool:
-            futures = [
-                (pool.submit(_run_chunk, plans[spec],
-                             [datas[i] for i in indices]),
-                 indices)
-                for spec, indices in chunks
-            ]
-            for future, indices in futures:
-                for index, outcome in zip(indices, future.result()):
+        pending: List[Tuple[Future, List[int], Optional[shm.Segment]]] = []
+        consumed = 0
+        try:
+            for spec, indices in chunks:
+                future, segment = self._submit_chunk(
+                    pool, plans[spec], [datas[i] for i in indices]
+                )
+                pending.append((future, indices, segment))
+            for future, indices, _ in pending:
+                outcomes = _consume_reply(future.result())
+                consumed += 1
+                for index, outcome in zip(indices, outcomes):
                     results[index] = outcome
-        return results, len(chunks), used  # type: ignore[return-value]
+        finally:
+            leftovers = pending[consumed:]
+            for future, _, _ in leftovers:
+                future.cancel()
+            if leftovers:
+                # Resolve the stragglers so (a) no worker is still about
+                # to attach an input segment we unlink below, and (b) any
+                # reply segments they produced can be reclaimed.
+                wait([future for future, _, _ in leftovers])
+                for future, _, _ in leftovers:
+                    if not future.cancelled() and future.exception() is None:
+                        _discard_reply(future.result())
+            for _, _, segment in pending:
+                if segment is not None:
+                    shm.unlink(segment.name)
+        return results  # type: ignore[return-value]

@@ -1,9 +1,17 @@
 """Top-level engine façade: one call to sweep a batch of collectives.
 
 ``repro.engine.sweep`` is the batch analogue of ``wse.run_many`` with
-process-pool fan-out; for anything needing observability or reuse
-(stats, one pool across many sweeps), instantiate
-:class:`~repro.engine.pool.SweepEngine` directly.
+process-pool fan-out.  Resolution order for *where* the batch runs:
+
+1. an explicit ``engine`` (a configured :class:`SweepEngine`);
+2. an explicit ``session`` (a warm :class:`EngineSession` pool);
+3. the module-default session (:func:`repro.engine.use_session` /
+   :func:`~repro.engine.session.set_session`) — but only when the
+   caller did not force a ``workers`` count of its own;
+4. a fresh ephemeral engine (pool per call), the PR-4 behavior.
+
+For anything needing observability or reuse across calls, hold a
+:class:`SweepEngine` or :class:`EngineSession` directly.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import numpy as np
 from ..core.api import CollectiveOutcome
 from ..core.registry import CollectiveSpec
 from .pool import SweepEngine
+from .session import EngineSession, get_session
 
 __all__ = ["sweep"]
 
@@ -24,16 +33,22 @@ def sweep(
     datas: Sequence[np.ndarray],
     workers: Optional[int] = None,
     engine: Optional[SweepEngine] = None,
+    session: Optional[EngineSession] = None,
 ) -> List[CollectiveOutcome]:
     """Execute ``specs[i]`` on ``datas[i]``; results in input order.
 
-    Plans once per distinct spec, fans the simulations out over
-    ``workers`` processes (default: every CPU the process may use;
-    ``workers=1`` is exactly the serial ``run_many`` pipeline), and
-    returns outcomes bit-identical to the serial path.  Pass ``engine``
-    to reuse a configured :class:`SweepEngine` (and accumulate its
-    stats) across calls.
+    Plans once per distinct spec, fans the simulations out over worker
+    processes (default: every CPU the process may use; ``workers=1`` is
+    exactly the serial ``run_many`` pipeline), and returns outcomes
+    bit-identical to the serial path.  Pass ``engine`` to reuse a
+    configured :class:`SweepEngine`, ``session`` to run on a persistent
+    warm pool — with neither, an installed default session is used
+    (unless ``workers`` explicitly pins a different count).
     """
-    if engine is None:
-        engine = SweepEngine(workers=workers)
-    return engine.sweep(specs, datas)
+    if engine is not None:
+        return engine.sweep(specs, datas)
+    if session is None and workers is None:
+        session = get_session()
+    if session is not None:
+        return session.sweep(specs, datas)
+    return SweepEngine(workers=workers).sweep(specs, datas)

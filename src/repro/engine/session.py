@@ -1,0 +1,266 @@
+"""Persistent worker sessions: one warm pool across many sweeps.
+
+A plain :class:`~repro.engine.pool.SweepEngine` pays full pool startup
+on every ``sweep()`` call — fine for one large batch, wasteful for the
+paper's evaluation shape (figs 8–13), which is *many* medium batches in
+a row.  An :class:`EngineSession` amortizes that cost: it owns one
+long-lived :class:`~concurrent.futures.ProcessPoolExecutor` and attaches
+it to its engine, so consecutive ``sweep()``/``run_many`` calls reuse
+warm workers (``stats.pool_reuses`` counts them; ``stats.cold_starts``
+counts the pools actually created).
+
+On attach the session re-hydrates planning state in both directions:
+
+* **parent**: an optional :class:`~repro.engine.store.TuneDB` re-warms
+  the process-wide plan cache (:meth:`TuneDB.hydrate_plan_cache`), so
+  the first sweep of a recorded spec replans nothing;
+* **workers**: each pool worker starts by installing the parent's
+  active tuner (by its DB path) and re-planning every spec the parent's
+  plan cache holds (:func:`repro.engine.store.plan_cache_keys` /
+  :func:`~repro.engine.store.hydrate_keys`).  Under the preferred
+  ``fork`` start method this is inherited state made explicit; under
+  ``spawn`` it is what makes workers equivalent to the parent at all.
+
+Sessions degrade exactly like the engine: ``workers=1`` and daemonic
+processes never create a pool (sweeps run serial, same results), and a
+pool that breaks mid-sweep is dropped and transparently re-created on
+the next call.  A closed session refuses further sweeps; ``close()`` is
+idempotent.
+
+A module-level default session can be installed (:func:`set_session`, or
+the :func:`use_session` context manager) so code holding no session
+reference — the figure benches, ``engine.sweep`` — still lands on the
+warm pool::
+
+    with use_session(workers=8) as session:
+        for figure in figures:
+            run_figure(figure)        # every sweep reuses one pool
+        print(session.stats.pool_reuses)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.api import CollectiveOutcome
+from ..core.registry import CollectiveSpec
+from .pool import SweepEngine, _pool_context
+from .store import TuneDB, hydrate_keys, plan_cache_keys
+
+__all__ = [
+    "EngineSession",
+    "get_session",
+    "set_session",
+    "use_session",
+]
+
+
+def _session_worker_init(
+    keys: List[Dict[str, object]], tuner_db_path: Optional[str]
+) -> None:
+    """Pool-worker initializer: mirror the parent's planning state.
+
+    Runs once per worker process.  Failures here must never kill the
+    worker — hydration is an optimization, execution correctness comes
+    from the parent shipping finished plans.
+    """
+    if tuner_db_path is not None:
+        try:
+            from .autotune import Tuner, set_tuner
+
+            set_tuner(Tuner(TuneDB(tuner_db_path)))
+        except Exception:  # noqa: BLE001 - a worker must come up regardless
+            pass
+    try:
+        hydrate_keys(keys)
+    except Exception:  # noqa: BLE001
+        pass
+
+
+class EngineSession:
+    """A long-lived sweep context: warm pool + hydrated planning state.
+
+    Use as a context manager (``with EngineSession(workers=8) as s:``)
+    or call :meth:`attach` / :meth:`close` explicitly.  ``db`` (a
+    :class:`TuneDB` or a path to one) re-warms the plan cache on attach
+    and seeds workers with the recorded specs.  All engine knobs
+    (``workers``, ``chunks_per_worker``, ``shm_threshold``) pass
+    through to the underlying :class:`SweepEngine`.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunks_per_worker: int = 4,
+        shm_threshold: Optional[int] = None,
+        db: Union[TuneDB, str, None] = None,
+    ) -> None:
+        self.engine = SweepEngine(
+            workers=workers,
+            chunks_per_worker=chunks_per_worker,
+            shm_threshold=shm_threshold,
+        )
+        self.db = db if isinstance(db, (TuneDB, type(None))) else TuneDB(db)
+        self._closed = False
+        self._hydrated = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def stats(self):
+        """The underlying engine's cumulative :class:`EngineStats`."""
+        return self.engine.stats
+
+    def attach(self) -> "EngineSession":
+        """Hydrate the plan cache and stand the pool up; idempotent."""
+        self._check_open()
+        if self.db is not None and not self._hydrated:
+            self.db.hydrate_plan_cache()
+            self._hydrated = True
+        self._ensure_pool()
+        return self
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this EngineSession is closed; create a new session "
+                "(sessions do not reopen once their pool is shut down)"
+            )
+
+    def _ensure_pool(self) -> None:
+        """(Re)create the persistent pool when one can and should exist.
+
+        ``workers=1`` sessions and sessions inside daemonic processes
+        stay poolless — their sweeps run serial through the engine's own
+        fallback, computing identical results.  A pool the engine
+        dropped (broken mid-sweep) is replaced here on the next call.
+        """
+        if self.engine.workers <= 1:
+            return
+        if multiprocessing.current_process().daemon:
+            return
+        if self.engine.pool is not None:
+            return
+        tuner_db_path = self._active_tuner_db_path()
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.engine.workers,
+                mp_context=_pool_context(),
+                initializer=_session_worker_init,
+                initargs=(plan_cache_keys(), tuner_db_path),
+            )
+        except OSError:
+            # No pool to be had (fd/process limits); sweeps fall back
+            # to the engine's serial path with identical results.
+            return
+        self.engine.attach_pool(pool)
+
+    @staticmethod
+    def _active_tuner_db_path() -> Optional[str]:
+        """The installed tuner's DB path, when it is shippable by path."""
+        from ..core import planner
+        from .autotune import Tuner
+
+        hook = planner.get_tuner_hook()
+        if isinstance(hook, Tuner):
+            return str(hook.db.path)
+        return None
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent (double-close is a no-op)."""
+        if self._closed:
+            return
+        self._closed = True
+        pool = self.engine.detach_pool()
+        if pool is not None:
+            pool.shutdown()
+        if _DEFAULT.get("session") is self:
+            _DEFAULT["session"] = None
+
+    def __enter__(self) -> "EngineSession":
+        return self.attach()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- sweeping -----------------------------------------------------------
+
+    def sweep(
+        self,
+        specs: Sequence[CollectiveSpec],
+        datas: Sequence[np.ndarray],
+    ) -> List[CollectiveOutcome]:
+        """Execute ``specs[i]`` on ``datas[i]`` through the warm pool.
+
+        Identical results to :func:`repro.core.api.run_many` in input
+        order; only the pool lifetime differs from a bare engine sweep.
+        """
+        self._check_open()
+        self._ensure_pool()
+        return self.engine.sweep(specs, datas)
+
+    #: ``run_many`` is the same call — the session is a drop-in batch
+    #: executor for code written against the core API's name.
+    run_many = sweep
+
+
+# -- module-level default session -------------------------------------------
+
+# Held in a dict rather than a bare global so EngineSession.close() can
+# clear a stale default without import-order gymnastics.
+_DEFAULT: Dict[str, Optional[EngineSession]] = {"session": None}
+
+
+def get_session() -> Optional[EngineSession]:
+    """The installed default session, or ``None`` (closed ones don't count)."""
+    session = _DEFAULT["session"]
+    if session is not None and session.closed:
+        _DEFAULT["session"] = None
+        return None
+    return session
+
+
+def set_session(session: Optional[EngineSession]) -> Optional[EngineSession]:
+    """Install ``session`` as the module default; returns the previous one."""
+    previous = _DEFAULT["session"]
+    _DEFAULT["session"] = session
+    return previous
+
+
+@contextmanager
+def use_session(
+    session: Optional[EngineSession] = None,
+    **kwargs,
+):
+    """Run a block with a (new or given) session as the module default.
+
+    ``use_session(workers=8)`` creates a session, installs it so
+    session-less callers (:func:`repro.engine.sweep`, the figure
+    benches) share its pool, and closes it on exit.  Passing an existing
+    ``session`` installs it without closing it afterwards — its owner
+    keeps the lifecycle.
+    """
+    own = session is None
+    if own:
+        session = EngineSession(**kwargs)
+    elif kwargs:
+        raise TypeError(
+            "use_session() takes engine kwargs only when creating the "
+            "session; pass either a session or kwargs, not both"
+        )
+    previous = set_session(session)
+    try:
+        yield session.attach()
+    finally:
+        set_session(previous)
+        if own:
+            session.close()

@@ -46,6 +46,8 @@ __all__ = [
     "default_db_path",
     "spec_to_key",
     "spec_from_key",
+    "plan_cache_keys",
+    "hydrate_keys",
 ]
 
 #: Bump when the on-disk record layout changes; mismatching lines are
@@ -190,8 +192,21 @@ class TuneDB:
             "winner_algorithm": record.winner_algorithm,
             "measured": record.measured,
         }
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        # One os.write of the whole encoded line on an O_APPEND fd:
+        # buffered text IO may flush a long line in several writes, and
+        # two processes appending concurrently can interleave those
+        # partial flushes into a line neither of them wrote.  A single
+        # append-mode write keeps every record intact on its own line.
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            written = 0
+            while written < len(line):
+                written += os.write(fd, line[written:])
+        finally:
+            os.close(fd)
 
     def record(
         self,
@@ -271,6 +286,45 @@ class TuneDB:
             if cache.lookup(spec) is not None:
                 hydrated += 1
         return hydrated
+
+
+def plan_cache_keys(cache=None) -> List[Dict[str, object]]:
+    """JSON-safe spec keys of every plan currently cached.
+
+    This is the shippable form of a warm plan cache: an
+    :class:`~repro.engine.session.EngineSession` sends these keys to its
+    pool workers on attach, and each worker re-plans them locally
+    (:func:`hydrate_keys`) so its own cache starts warm even under a
+    ``spawn`` start method, where nothing is inherited.
+    """
+    from ..core.cache import PLAN_CACHE
+
+    if cache is None:
+        cache = PLAN_CACHE
+    return [spec_to_key(spec) for spec in cache.specs()]
+
+
+def hydrate_keys(keys: List[Dict[str, object]], cache=None) -> int:
+    """Re-plan every spec key into a plan cache; returns #hydrated.
+
+    The worker-side half of :func:`plan_cache_keys`.  Keys the current
+    registry cannot plan (stale algorithms, incompatible shapes) are
+    skipped, mirroring :meth:`TuneDB.hydrate_plan_cache`.
+    """
+    from ..core import api
+    from ..core.cache import PLAN_CACHE
+
+    if cache is None:
+        cache = PLAN_CACHE
+    hydrated = 0
+    for key in keys:
+        try:
+            spec = spec_from_key(key)
+            cache.get_or_plan(spec, lambda s: api.plan(s, use_cache=False))
+        except (ValueError, KeyError, TypeError):
+            continue
+        hydrated += 1
+    return hydrated
 
 
 #: The store doubles as the persistent face of the plan cache — the

@@ -28,13 +28,13 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..model.params import CS2, MachineParams
-from .geometry import PORT_NAMES, Grid, Port, opposite_port
+from .geometry import PORT_NAMES, Port, opposite_port
 from .ir import (
     Delay,
     PEProgram,

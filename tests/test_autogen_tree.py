@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.autogen.dp import autogen_best_params
 from repro.autogen.tree import (
     ReductionTree,
     autogen_tree,

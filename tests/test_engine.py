@@ -9,6 +9,7 @@ measurements exist.
 """
 
 import json
+import multiprocessing
 import os
 import subprocess
 import sys
@@ -18,7 +19,7 @@ import numpy as np
 import pytest
 
 from repro import CollectiveSpec, Grid, wse
-from repro.core import api, planner
+from repro.core import planner
 from repro.core.cache import PLAN_CACHE, PlanCache
 from repro.engine import (
     SweepEngine,
@@ -211,6 +212,46 @@ class TestTuneDB:
         db = TuneDB(tmp_path / "absent.jsonl")
         assert len(db) == 0
         assert db.lookup(CollectiveSpec("reduce", Grid(1, 4), 8)) is None
+
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        """Two processes x 500 appends: every record loads, none corrupt.
+
+        Each record is padded past the stdio buffer size — the regime
+        where a buffered text append flushes one line in several writes,
+        which a concurrent appender can interleave.  The store appends
+        each encoded record with a single ``os.write`` instead, so every
+        line lands intact.
+        """
+        db_path = tmp_path / "db.jsonl"
+        per_process, n_processes = 500, 2
+        # ~9 KB of measured entries per record: longer than the default
+        # 8 KiB buffer that would otherwise split the line mid-flush.
+        padding = {f"algo_{i:04d}": 10**12 + i for i in range(450)}
+
+        def appender(offset):
+            db = TuneDB(db_path, autoload=False)
+            for i in range(per_process):
+                spec = CollectiveSpec("reduce", Grid(1, 8), offset + i)
+                db.record(spec, measured_cycles=i, winner_algorithm="tree",
+                          measured=dict(padding, tree=i))
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=appender, args=(1 + 10_000 * rank,))
+            for rank in range(n_processes)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        reloaded = TuneDB(db_path)
+        assert reloaded.corrupt_lines == 0
+        assert len(reloaded) == per_process * n_processes
+        for rank in range(n_processes):
+            spec = CollectiveSpec("reduce", Grid(1, 8), 1 + 10_000 * rank)
+            record = reloaded.lookup(spec)
+            assert record is not None and record.measured["tree"] == 0
 
 
 class TestTunerOverridesPlanner:

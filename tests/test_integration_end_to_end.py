@@ -6,7 +6,6 @@ composition identities the collectives must satisfy.
 """
 
 import numpy as np
-import pytest
 
 from repro import Grid, wse
 from repro.core.planner import best_reduce_1d

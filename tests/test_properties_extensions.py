@@ -6,7 +6,6 @@ collective's defining postcondition exactly.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ the paper's loose synchronization argument rests on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

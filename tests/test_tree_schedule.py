@@ -7,7 +7,7 @@ from helpers import expected_sum, pe_inputs
 from repro.autogen.tree import ReductionTree, chain_tree, star_tree
 from repro.collectives.lanes import col_lane, snake_lane
 from repro.collectives.tree_schedule import schedule_tree_reduce
-from repro.fabric import Grid, Port, row_grid, simulate
+from repro.fabric import Grid, row_grid, simulate
 from repro.fabric.ir import Recv, RecvReduceSend, Send
 
 
