@@ -98,6 +98,11 @@ def main() -> None:
     print(f"\nsweep engine: {stats.points} points over "
           f"{stats.distinct_specs} distinct specs, "
           f"workers = {stats.workers}, wall = {stats.wall_time:.3f}s")
+    print(f"  robustness: {stats.retries} retries, {stats.timeouts} timeouts, "
+          f"{stats.requeued_chunks} requeued, "
+          f"{stats.pool_replacements} pool replacements, "
+          f"{stats.quarantined} quarantined"
+          + (" [degraded to serial]" if stats.degraded else ""))
 
     # --- execution trace of the two-phase reduce ---------------------------
     print("\nTwo-Phase Reduce execution timeline "

@@ -28,7 +28,15 @@ contract out and makes it durable:
   :func:`use_tuner` let those measured winners override the analytic
   planner;
 * :mod:`repro.engine.runner` — the :func:`sweep` façade (routes to the
-  default session when one is installed).
+  default session when one is installed; :func:`last_stats` exposes the
+  executing engine's counters, failure/recovery ones included);
+* :mod:`repro.engine.faults` — deterministic, seeded fault injection
+  (``REPRO_FAULTS`` / :func:`use_faults`): kill a worker mid-chunk,
+  delay a chunk past its deadline, corrupt an shm descriptor, tear a
+  JSONL append — every failure mode the engine's retry/timeout/
+  quarantine/pool-replacement machinery claims to survive is
+  reproducible on demand, and results stay bit-identical to serial
+  under all of them.
 
 Quickstart::
 
@@ -45,11 +53,15 @@ Quickstart::
         print(session.stats.pool_reuses)           # 1
 """
 
+from . import faults
 from .autotune import Tuner, set_tuner, tune, use_tuner
+from .faults import FaultPlan, FaultSpec, use_faults
 from .pool import EngineStats, SweepEngine, default_workers
-from .runner import sweep
+from .runner import last_stats, sweep
 from .session import EngineSession, get_session, set_session, use_session
 from .store import (
+    FsckIssue,
+    FsckReport,
     PlanStore,
     TuneDB,
     TuneRecord,
@@ -65,6 +77,13 @@ __all__ = [
     "SweepEngine",
     "default_workers",
     "sweep",
+    "last_stats",
+    "faults",
+    "FaultPlan",
+    "FaultSpec",
+    "use_faults",
+    "FsckIssue",
+    "FsckReport",
     "EngineSession",
     "get_session",
     "set_session",

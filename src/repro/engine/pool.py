@@ -19,9 +19,33 @@ batch as :func:`repro.core.api.run_many` and fans it out over a
   how many workers ran (simulation is pure, transport is lossless);
 * **serial fallback** — ``workers=1``, single-point batches, daemonic
   processes (a pool cannot nest inside a pool worker) and batches the
-  pool cannot transport (pickling failures, a broken pool) all fall back
-  to in-process execution; the engine *changes where points run, never
-  what they compute*.
+  pool cannot transport (pickling failures) all fall back to in-process
+  execution; the engine *changes where points run, never what they
+  compute*.
+
+Failure semantics (chunks are self-contained plan+data units, so every
+recovery below is a plain re-execution and results stay bit-identical):
+
+* **timeout + bounded retry** — a chunk that raises in its worker, or
+  outlives ``chunk_timeout`` seconds, is requeued with seeded
+  exponential backoff up to ``max_retries`` times (``stats.retries`` /
+  ``stats.timeouts``); a timed-out attempt is abandoned, its eventual
+  reply discarded and its segments reclaimed via a done-callback;
+* **quarantine** — a chunk that exhausts its retries is re-executed
+  serially in the parent (``stats.quarantined``); only an error that
+  reproduces there — i.e. one ``run_many`` would raise too — surfaces,
+  and it surfaces as that underlying per-chunk error, never as an
+  opaque pool crash;
+* **pool-loss recovery** — a dead pool (``BrokenProcessPool``) fails
+  every in-flight chunk at once: completed results are salvaged, the
+  rest are requeued (``stats.requeued_chunks``), and a replacement pool
+  is stood up (``stats.pool_replacements``) — through ``pool_supplier``
+  when a session installed one (re-hydrated workers), else a fresh
+  ephemeral pool.  After ``max_pool_deaths`` losses the engine degrades
+  to serial for the rest of its life (``stats.degraded``).
+
+Every failure mode above is reproducible on demand through the seeded
+fault-injection hooks in :mod:`repro.engine.faults` (``REPRO_FAULTS``).
 
 Two transports move a chunk's arrays across the process boundary:
 
@@ -33,7 +57,7 @@ Two transports move a chunk's arrays across the process boundary:
   result arrays (per-PE buffers, the collective result) into a reply
   segment the parent reads and unlinks.  Both directions copy bytes
   verbatim, so outcomes stay bit-identical; every segment is unlinked
-  in a ``finally`` even when a worker raises.
+  even when a worker raises, times out, or dies.
 
 Pool lifetime is normally per-sweep (an ephemeral pool, one
 ``cold_start`` each); a :class:`~repro.engine.session.EngineSession` can
@@ -46,23 +70,37 @@ startup); correctness does not depend on it.
 from __future__ import annotations
 
 import dataclasses
+import glob
 import math
 import multiprocessing
 import os
 import pickle
+import random
 import time
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.api import CollectiveOutcome, Plan, execute, plan
 from ..core.registry import CollectiveSpec
-from . import shm
+from . import faults, shm
 
 __all__ = ["SweepEngine", "EngineStats", "default_workers"]
+
+#: Retry/recovery defaults (each overridable per-engine or via env).
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_MAX_POOL_DEATHS = 2
 
 
 def default_workers() -> int:
@@ -81,15 +119,31 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _env_number(name: str, default, convert):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return convert(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+
+
 def _run_chunk(
-    chunk_plan: Plan, datas: List[np.ndarray]
+    chunk_plan: Plan,
+    datas: List[np.ndarray],
+    fault: Optional[faults.FaultSpec] = None,
 ) -> List[CollectiveOutcome]:
     """Worker body (pickle transport): execute every point of a chunk.
 
     The plan arrives fully built from the parent, so workers never plan
     — execution state cannot depend on what the worker process knows
-    (registry contents, tuner hooks, start method).
+    (registry contents, tuner hooks, start method).  ``fault`` is an
+    injected kill/delay token from the parent's fault plan, if any.
     """
+    faults.perform(fault)
     return [execute(chunk_plan, data) for data in datas]
 
 
@@ -158,7 +212,10 @@ def _restore_outcomes(reply: _ShmReply) -> List[CollectiveOutcome]:
 
 
 def _run_chunk_shm(
-    chunk_plan: Plan, segment: shm.Segment, refs: List[shm.ArrayRef]
+    chunk_plan: Plan,
+    segment: shm.Segment,
+    refs: List[shm.ArrayRef],
+    fault: Optional[faults.FaultSpec] = None,
 ) -> _ShmReply:
     """Worker body (shm transport): inputs and outputs via segments.
 
@@ -167,6 +224,7 @@ def _run_chunk_shm(
     future resolves).  The reply segment is created here but ownership
     passes to the parent with the returned descriptor.
     """
+    faults.perform(fault)
     datas, mem = shm.read(segment, refs, copy=False)
     try:
         outcomes = [execute(chunk_plan, data) for data in datas]
@@ -188,6 +246,66 @@ def _discard_reply(reply: _ChunkReply) -> None:
     """Release a reply that will never be consumed (error paths)."""
     if isinstance(reply, _ShmReply):
         shm.unlink(reply.segment.name)
+
+
+def _abandon(future: Future, segment: Optional[shm.Segment]) -> None:
+    """Walk away from a future but reclaim its segments eventually.
+
+    A timed-out (or pool-loss-doomed) attempt cannot be interrupted, so
+    its input segment must survive until the worker is provably done
+    with it, and any reply segment it produces must still be unlinked.
+    A done-callback handles both whenever the future finally resolves
+    — immediately, if it already has.
+    """
+    future.cancel()
+
+    def _reclaim(resolved: Future) -> None:
+        try:
+            if not resolved.cancelled() and resolved.exception() is None:
+                _discard_reply(resolved.result())
+        finally:
+            if segment is not None:
+                shm.unlink(segment.name)
+
+    future.add_done_callback(_reclaim)
+
+
+def _reap_worker_segments(workers: Sequence, timeout: float = 5.0) -> None:
+    """Unlink segments orphaned by a dead pool's worker processes.
+
+    When a pool breaks, the executor SIGTERMs the surviving workers; one
+    terminated mid-chunk can leave a reply segment it created but never
+    handed off (or whose descriptor died in the broken result queue).
+    No future names those segments — but the worker's pid does, so once
+    a worker is provably dead, anything under its pid is garbage.
+    Workers not confirmed dead are left alone: never unlink behind a
+    live process.
+    """
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - no shm mount
+        return
+    deadline = time.monotonic() + timeout
+    for proc in workers:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        except (AssertionError, ValueError):  # pragma: no cover - raced
+            continue
+    for proc in workers:
+        if proc.is_alive():  # pragma: no cover - worker survived SIGTERM
+            continue
+        for path in glob.glob(f"/dev/shm/{shm.NAME_PREFIX}_{proc.pid}_*"):
+            shm.unlink(os.path.basename(path))
+
+
+@dataclass
+class _ChunkTask:
+    """One schedulable unit of a sweep: a spec's plan over some indices."""
+
+    seq: int
+    spec: CollectiveSpec
+    indices: List[int]
+    attempts: int = 0
+    #: injected fault token, consumed by (shipped with) the first attempt.
+    fault: Optional[faults.FaultSpec] = None
 
 
 @dataclass
@@ -215,6 +333,18 @@ class EngineStats:
     #: chunks (and input bytes) that went through the shm data plane.
     shm_chunks: int = 0
     shm_bytes: int = 0
+    #: failed/timed-out chunk attempts that were requeued for retry.
+    retries: int = 0
+    #: chunk attempts abandoned for outliving ``chunk_timeout``.
+    timeouts: int = 0
+    #: in-flight chunks requeued because their pool died under them.
+    requeued_chunks: int = 0
+    #: dead pools replaced mid-sweep (session-supplied or ephemeral).
+    pool_replacements: int = 0
+    #: chunks that exhausted retries and re-executed serially in-parent.
+    quarantined: int = 0
+    #: 1 once the engine gave up on pools (``max_pool_deaths`` exceeded).
+    degraded: int = 0
 
     @property
     def points_per_second(self) -> float:
@@ -235,6 +365,12 @@ class EngineStats:
             "pool_reuses": self.pool_reuses,
             "shm_chunks": self.shm_chunks,
             "shm_bytes": self.shm_bytes,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "requeued_chunks": self.requeued_chunks,
+            "pool_replacements": self.pool_replacements,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
         }
 
 
@@ -247,6 +383,21 @@ class SweepEngine:
     ``None`` resolves the default (``REPRO_SHM_THRESHOLD`` env or
     1 MiB), a negative value disables it.  One engine can run many
     sweeps; :attr:`stats` accumulates across them.
+
+    Fault-tolerance knobs (``None`` resolves env, then the default):
+
+    * ``chunk_timeout`` — seconds a chunk attempt may run before being
+      abandoned and requeued (``REPRO_CHUNK_TIMEOUT``; unset/<=0
+      disables deadlines);
+    * ``max_retries`` — failed/timed-out attempts a chunk gets before
+      quarantine (``REPRO_MAX_RETRIES``, default 2);
+    * ``backoff_base`` — base of the seeded exponential backoff slept
+      between attempts (``REPRO_RETRY_BACKOFF``, default 0.05 s);
+    * ``retry_seed`` — seed of the backoff jitter RNG
+      (``REPRO_RETRY_SEED``, default 0);
+    * ``max_pool_deaths`` — pool losses tolerated over the engine's
+      lifetime before it degrades to serial permanently
+      (``REPRO_MAX_POOL_DEATHS``, default 2).
     """
 
     def __init__(
@@ -254,6 +405,11 @@ class SweepEngine:
         workers: Optional[int] = None,
         chunks_per_worker: int = 4,
         shm_threshold: Optional[int] = None,
+        chunk_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        backoff_base: Optional[float] = None,
+        retry_seed: Optional[int] = None,
+        max_pool_deaths: Optional[int] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -264,7 +420,46 @@ class SweepEngine:
             )
         self.chunks_per_worker = chunks_per_worker
         self.shm_threshold = shm.resolve_threshold(shm_threshold)
+        if chunk_timeout is None:
+            chunk_timeout = _env_number("REPRO_CHUNK_TIMEOUT", None, float)
+        self.chunk_timeout = (
+            None if chunk_timeout is None or chunk_timeout <= 0
+            else float(chunk_timeout)
+        )
+        self.max_retries = (
+            _env_number("REPRO_MAX_RETRIES", DEFAULT_MAX_RETRIES, int)
+            if max_retries is None else int(max_retries)
+        )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        self.backoff_base = (
+            _env_number("REPRO_RETRY_BACKOFF", DEFAULT_BACKOFF_BASE, float)
+            if backoff_base is None else float(backoff_base)
+        )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        self.retry_seed = (
+            _env_number("REPRO_RETRY_SEED", 0, int)
+            if retry_seed is None else int(retry_seed)
+        )
+        self.max_pool_deaths = (
+            _env_number("REPRO_MAX_POOL_DEATHS", DEFAULT_MAX_POOL_DEATHS, int)
+            if max_pool_deaths is None else int(max_pool_deaths)
+        )
+        if self.max_pool_deaths < 0:
+            raise ValueError(
+                f"max_pool_deaths must be >= 0, got {self.max_pool_deaths}"
+            )
         self.stats = EngineStats()
+        self.pool_deaths = 0
+        #: optional factory for replacement pools after a pool loss — an
+        #: :class:`~repro.engine.session.EngineSession` installs one that
+        #: builds hydrated pools (plan cache + tuner re-warmed).
+        self.pool_supplier: Optional[Callable[[], Optional[Executor]]] = None
+        self._retry_rng = random.Random(self.retry_seed)
+        self._degraded = False
         self._pool: Optional[Executor] = None
         self._pool_warm = False
 
@@ -274,6 +469,11 @@ class SweepEngine:
     def pool(self) -> Optional[Executor]:
         """The attached persistent executor, if a session installed one."""
         return self._pool
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the engine gave up on pools (runs serial forever)."""
+        return self._degraded
 
     def attach_pool(self, pool: Executor) -> None:
         """Adopt a long-lived executor; sweeps reuse it instead of
@@ -312,8 +512,11 @@ class SweepEngine:
         plans: Dict[CollectiveSpec, Plan] = {
             spec: plan(spec) for spec in groups
         }
-        parallel = self.workers > 1 and len(specs) > 1 and not (
-            multiprocessing.current_process().daemon
+        parallel = (
+            not self._degraded
+            and self.workers > 1
+            and len(specs) > 1
+            and not multiprocessing.current_process().daemon
         )
         used_workers = 1
         n_chunks = 0
@@ -324,8 +527,9 @@ class SweepEngine:
                     plans, datas, groups
                 )
             except BrokenProcessPool:
-                # A dead pool cannot be reused; drop it so a session can
-                # attach a fresh one, and compute this batch in-process.
+                # Recovery itself came apart (replacement pools dying
+                # faster than we stand them up); drop any attached pool
+                # and compute this batch in-process.
                 broken = self.detach_pool()
                 if broken is not None:
                     broken.shutdown(wait=False)
@@ -390,19 +594,26 @@ class SweepEngine:
         pool: Executor,
         chunk_plan: Plan,
         chunk_datas: List[np.ndarray],
+        fault: Optional[faults.FaultSpec] = None,
     ) -> Tuple[Future, Optional[shm.Segment]]:
         """Ship one chunk via shm (large) or pickle (small).
 
         Returns the future plus the input segment the parent now owns
-        (``None`` on the pickle path).
+        (``None`` on the pickle path).  An injected ``shm`` fault
+        corrupts the descriptor the worker sees — never the parent's
+        own unlink handle.
         """
         if not self._use_shm(chunk_datas):
-            return pool.submit(_run_chunk, chunk_plan, chunk_datas), None
+            return pool.submit(_run_chunk, chunk_plan, chunk_datas, fault), None
         segment, refs = shm.pack(
             [np.asarray(data, dtype=np.float64) for data in chunk_datas]
         )
+        shipped = segment
+        if fault is not None and fault.kind == "shm":
+            shipped = dataclasses.replace(segment, name=segment.name + "-torn")
+            fault = None  # the corrupted descriptor *is* the fault
         try:
-            future = pool.submit(_run_chunk_shm, chunk_plan, segment, refs)
+            future = pool.submit(_run_chunk_shm, chunk_plan, shipped, refs, fault)
         except BaseException:
             shm.unlink(segment.name)
             raise
@@ -425,62 +636,258 @@ class SweepEngine:
             else:
                 self.stats.cold_starts += 1
                 self._pool_warm = True
-            ephemeral = None
+            ephemeral = False
         else:
-            pool = ephemeral = ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=used, mp_context=_pool_context()
             )
             self.stats.cold_starts += 1
-        try:
-            results = self._run_chunks(pool, plans, datas, chunks)
-        finally:
-            if ephemeral is not None:
-                ephemeral.shutdown()
+            ephemeral = True
+        results = self._run_chunks(pool, plans, datas, chunks, ephemeral, used)
         return results, len(chunks), used
 
     def _run_chunks(
         self,
-        pool: Executor,
+        pool: Optional[Executor],
         plans: "Dict[CollectiveSpec, Plan]",
         datas: List[np.ndarray],
         chunks: List[Tuple[CollectiveSpec, List[int]]],
+        ephemeral: bool,
+        used: int,
     ) -> List[CollectiveOutcome]:
-        """Submit every chunk, reassemble in order, never leak a segment.
+        """The sweep event loop: submit, collect, retry, recover, clean up.
 
-        Input segments are parent-owned: unlinked in the ``finally`` once
-        their future has resolved (a worker must be able to attach by
-        name until then, so the wait-then-unlink order matters).  Reply
-        segments are adopted when a result is consumed; replies of
-        futures abandoned by an error are drained and discarded so their
-        segments are unlinked too.
+        Invariants:
+
+        * a chunk's fault token (injected) ships with its first attempt
+          only — retries and requeues always run clean;
+        * input segments are parent-owned: unlinked as soon as their
+          future resolves, or via :func:`_abandon`'s done-callback when
+          an attempt is walked away from;
+        * reply segments are adopted on consumption; replies of
+          abandoned or error-path futures are drained and discarded;
+        * ephemeral pools created here (the per-sweep pool, replacement
+          pools) are shut down here; attached pools belong to their
+          session and are only detached when dead.
         """
         results: List[Optional[CollectiveOutcome]] = [None] * len(datas)
-        pending: List[Tuple[Future, List[int], Optional[shm.Segment]]] = []
-        consumed = 0
+        queue: Deque[_ChunkTask] = deque(
+            _ChunkTask(seq=seq, spec=spec, indices=indices,
+                       fault=faults.draw("chunk"))
+            for seq, (spec, indices) in enumerate(chunks)
+        )
+        inflight: Dict[
+            Future, Tuple[_ChunkTask, Optional[shm.Segment], Optional[float]]
+        ] = {}
+        owned: List[Executor] = [pool] if ephemeral else []
         try:
-            for spec, indices in chunks:
-                future, segment = self._submit_chunk(
-                    pool, plans[spec], [datas[i] for i in indices]
+            while queue or inflight:
+                if pool is None:
+                    # Degraded (or no replacement pool to be had): the
+                    # rest of this sweep runs serially in the parent.
+                    while queue:
+                        self._run_task_serial(queue.popleft(), plans, datas,
+                                              results)
+                    continue
+                while queue:
+                    task = queue.popleft()
+                    fault, task.fault = task.fault, None
+                    try:
+                        future, segment = self._submit_chunk(
+                            pool, plans[task.spec],
+                            [datas[i] for i in task.indices], fault,
+                        )
+                    except BrokenProcessPool:
+                        queue.appendleft(task)
+                        pool = self._on_pool_loss(
+                            pool, inflight, queue, owned, used, results
+                        )
+                        break
+                    deadline = (
+                        time.monotonic() + self.chunk_timeout
+                        if self.chunk_timeout else None
+                    )
+                    inflight[future] = (task, segment, deadline)
+                if not inflight:
+                    continue
+                timeout = None
+                if self.chunk_timeout:
+                    now = time.monotonic()
+                    timeout = max(0.0, min(
+                        d for _, _, d in inflight.values()
+                    ) - now)
+                done, _ = wait(
+                    set(inflight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
                 )
-                pending.append((future, indices, segment))
-            for future, indices, _ in pending:
-                outcomes = _consume_reply(future.result())
-                consumed += 1
-                for index, outcome in zip(indices, outcomes):
-                    results[index] = outcome
+                pool_lost = False
+                for future in done:
+                    task, segment, _ = inflight.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        try:
+                            outcomes = _consume_reply(future.result())
+                        finally:
+                            if segment is not None:
+                                shm.unlink(segment.name)
+                        for index, outcome in zip(task.indices, outcomes):
+                            results[index] = outcome
+                    elif isinstance(exc, BrokenProcessPool):
+                        if segment is not None:
+                            shm.unlink(segment.name)
+                        queue.append(task)
+                        self.stats.requeued_chunks += 1
+                        pool_lost = True
+                    else:
+                        if segment is not None:
+                            shm.unlink(segment.name)
+                        self._retry_or_quarantine(
+                            task, exc, queue, plans, datas, results,
+                            can_retry=not isinstance(exc, pickle.PicklingError),
+                        )
+                if pool_lost:
+                    pool = self._on_pool_loss(
+                        pool, inflight, queue, owned, used, results
+                    )
+                elif self.chunk_timeout and inflight:
+                    now = time.monotonic()
+                    for future, (task, segment, deadline) in list(
+                        inflight.items()
+                    ):
+                        if deadline is not None and now >= deadline:
+                            del inflight[future]
+                            _abandon(future, segment)
+                            self.stats.timeouts += 1
+                            self._retry_or_quarantine(
+                                task, None, queue, plans, datas, results,
+                                can_retry=True,
+                            )
         finally:
-            leftovers = pending[consumed:]
-            for future, _, _ in leftovers:
-                future.cancel()
-            if leftovers:
-                # Resolve the stragglers so (a) no worker is still about
-                # to attach an input segment we unlink below, and (b) any
-                # reply segments they produced can be reclaimed.
-                wait([future for future, _, _ in leftovers])
-                for future, _, _ in leftovers:
+            if inflight:
+                # Error path (a quarantined chunk re-raised): resolve
+                # the stragglers so no worker is still about to attach
+                # a segment we unlink, then reclaim everything.
+                for future in inflight:
+                    future.cancel()
+                wait(list(inflight))
+                for future, (task, segment, _) in inflight.items():
                     if not future.cancelled() and future.exception() is None:
                         _discard_reply(future.result())
-            for _, _, segment in pending:
-                if segment is not None:
-                    shm.unlink(segment.name)
+                    if segment is not None:
+                        shm.unlink(segment.name)
+            for executor in owned:
+                # Waiting on the live pool lets abandoned attempts finish
+                # and their reclaim callbacks run before we return; dead
+                # pools were already shut down without waiting.
+                executor.shutdown(wait=executor is pool)
         return results  # type: ignore[return-value]
+
+    def _run_task_serial(
+        self,
+        task: _ChunkTask,
+        plans: "Dict[CollectiveSpec, Plan]",
+        datas: List[np.ndarray],
+        results: List[Optional[CollectiveOutcome]],
+    ) -> None:
+        """Execute a chunk in the parent (quarantine / degraded path)."""
+        for index in task.indices:
+            results[index] = execute(plans[task.spec], datas[index])
+
+    def _retry_or_quarantine(
+        self,
+        task: _ChunkTask,
+        exc: Optional[BaseException],
+        queue: "Deque[_ChunkTask]",
+        plans: "Dict[CollectiveSpec, Plan]",
+        datas: List[np.ndarray],
+        results: List[Optional[CollectiveOutcome]],
+        can_retry: bool,
+    ) -> None:
+        """Requeue a failed attempt with seeded backoff, or quarantine.
+
+        Quarantine re-executes the chunk serially in the parent: a
+        transient failure (dead worker, lost segment, timeout) succeeds
+        there and the sweep continues; a deterministic failure raises
+        the same error ``run_many`` would — the structured per-chunk
+        error, not a pool crash.
+        """
+        task.attempts += 1
+        if can_retry and task.attempts <= self.max_retries:
+            self.stats.retries += 1
+            if self.backoff_base > 0:
+                scale = 2 ** (task.attempts - 1)
+                jitter = 0.5 + self._retry_rng.random()
+                time.sleep(self.backoff_base * scale * jitter)
+            queue.append(task)
+            return
+        self.stats.quarantined += 1
+        self._run_task_serial(task, plans, datas, results)
+
+    def _on_pool_loss(
+        self,
+        dead: Executor,
+        inflight: "Dict[Future, Tuple[_ChunkTask, Optional[shm.Segment], Optional[float]]]",
+        queue: "Deque[_ChunkTask]",
+        owned: List[Executor],
+        used: int,
+        results: List[Optional[CollectiveOutcome]],
+    ) -> Optional[Executor]:
+        """A pool died: salvage, requeue, and stand up a replacement.
+
+        Chunks whose futures completed before the loss are consumed
+        normally (their results are valid — execution is pure); every
+        other in-flight chunk is requeued.  The replacement comes from
+        ``pool_supplier`` when a session installed one (workers arrive
+        re-hydrated with the parent's plan cache + tuner), else a fresh
+        ephemeral pool owned by this sweep.  Returns the new pool, or
+        ``None`` when the engine degrades to serial.
+        """
+        try:
+            dead_workers = list((dead._processes or {}).values())
+        except (AttributeError, RuntimeError):  # pragma: no cover - raced
+            dead_workers = []
+        for future, (task, segment, _) in list(inflight.items()):
+            if (future.done() and not future.cancelled()
+                    and future.exception() is None):
+                try:
+                    outcomes = _consume_reply(future.result())
+                finally:
+                    if segment is not None:
+                        shm.unlink(segment.name)
+                for index, outcome in zip(task.indices, outcomes):
+                    results[index] = outcome
+            else:
+                _abandon(future, segment)
+                queue.append(task)
+                self.stats.requeued_chunks += 1
+        inflight.clear()
+        self.pool_deaths += 1
+        if dead is self._pool:
+            self.detach_pool()
+        if dead in owned:
+            owned.remove(dead)
+        dead.shutdown(wait=False)
+        _reap_worker_segments(dead_workers)
+        if self.pool_deaths > self.max_pool_deaths:
+            self._degraded = True
+            self.stats.degraded = 1
+            return None
+        replacement: Optional[Executor] = None
+        if self.pool_supplier is not None:
+            try:
+                replacement = self.pool_supplier()
+            except OSError:
+                replacement = None
+            if replacement is not None:
+                self.attach_pool(replacement)
+                self._pool_warm = True
+        if replacement is None:
+            try:
+                replacement = ProcessPoolExecutor(
+                    max_workers=used, mp_context=_pool_context()
+                )
+            except OSError:
+                return None  # serial drain for this sweep only
+            owned.append(replacement)
+        self.stats.pool_replacements += 1
+        return replacement

@@ -10,22 +10,42 @@ process-pool fan-out.  Resolution order for *where* the batch runs:
    caller did not force a ``workers`` count of its own;
 4. a fresh ephemeral engine (pool per call), the PR-4 behavior.
 
-For anything needing observability or reuse across calls, hold a
+After every call :func:`last_stats` holds a snapshot of the executing
+engine's cumulative :class:`~repro.engine.pool.EngineStats` — including
+the failure/recovery counters (``retries``, ``timeouts``,
+``requeued_chunks``, ``pool_replacements``, ``quarantined``,
+``degraded``) — so even ephemeral-engine callers can observe what the
+sweep survived.  For observability or reuse across calls, hold a
 :class:`SweepEngine` or :class:`EngineSession` directly.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import dataclasses
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.api import CollectiveOutcome
 from ..core.registry import CollectiveSpec
-from .pool import SweepEngine
+from .pool import EngineStats, SweepEngine
 from .session import EngineSession, get_session
 
-__all__ = ["sweep"]
+__all__ = ["sweep", "last_stats"]
+
+# Snapshot of the most recent sweep()'s engine stats (see last_stats).
+_LAST: Dict[str, Optional[EngineStats]] = {"stats": None}
+
+
+def last_stats() -> Optional[EngineStats]:
+    """Stats snapshot of the engine the most recent :func:`sweep` used.
+
+    Cumulative for that engine (a session's engine keeps counting across
+    calls; an ephemeral engine's counters cover just the one sweep), and
+    frozen at return time — later sweeps do not mutate old snapshots.
+    ``None`` before the first call.
+    """
+    return _LAST["stats"]
 
 
 def sweep(
@@ -45,10 +65,14 @@ def sweep(
     warm pool — with neither, an installed default session is used
     (unless ``workers`` explicitly pins a different count).
     """
-    if engine is not None:
-        return engine.sweep(specs, datas)
-    if session is None and workers is None:
-        session = get_session()
-    if session is not None:
-        return session.sweep(specs, datas)
-    return SweepEngine(workers=workers).sweep(specs, datas)
+    if engine is None:
+        if session is None and workers is None:
+            session = get_session()
+        if session is not None:
+            outcomes = session.sweep(specs, datas)
+            _LAST["stats"] = dataclasses.replace(session.engine.stats)
+            return outcomes
+        engine = SweepEngine(workers=workers)
+    outcomes = engine.sweep(specs, datas)
+    _LAST["stats"] = dataclasses.replace(engine.stats)
+    return outcomes

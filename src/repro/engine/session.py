@@ -22,10 +22,15 @@ On attach the session re-hydrates planning state in both directions:
   ``spawn`` it is what makes workers equivalent to the parent at all.
 
 Sessions degrade exactly like the engine: ``workers=1`` and daemonic
-processes never create a pool (sweeps run serial, same results), and a
-pool that breaks mid-sweep is dropped and transparently re-created on
-the next call.  A closed session refuses further sweeps; ``close()`` is
-idempotent.
+processes never create a pool (sweeps run serial, same results).  A
+pool that dies mid-sweep is replaced *during* the sweep: the session
+installs itself as the engine's ``pool_supplier``, so recovery pools
+arrive with workers re-hydrated the same way attach hydrates them
+(plan cache + tuner), and the in-flight chunks are requeued onto the
+replacement (``stats.pool_replacements``).  After the engine's
+``max_pool_deaths`` losses the session degrades to serial for the rest
+of its life — same results, no pool.  A closed session refuses further
+sweeps; ``close()`` is idempotent.
 
 A module-level default session can be installed (:func:`set_session`, or
 the :func:`use_session` context manager) so code holding no session
@@ -99,12 +104,25 @@ class EngineSession:
         chunks_per_worker: int = 4,
         shm_threshold: Optional[int] = None,
         db: Union[TuneDB, str, None] = None,
+        chunk_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        backoff_base: Optional[float] = None,
+        retry_seed: Optional[int] = None,
+        max_pool_deaths: Optional[int] = None,
     ) -> None:
         self.engine = SweepEngine(
             workers=workers,
             chunks_per_worker=chunks_per_worker,
             shm_threshold=shm_threshold,
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
+            backoff_base=backoff_base,
+            retry_seed=retry_seed,
+            max_pool_deaths=max_pool_deaths,
         )
+        # Mid-sweep pool-loss recovery goes through us so replacement
+        # workers come up hydrated exactly like attach-time workers.
+        self.engine.pool_supplier = self._build_pool
         self.db = db if isinstance(db, (TuneDB, type(None))) else TuneDB(db)
         self._closed = False
         self._hydrated = False
@@ -139,20 +157,29 @@ class EngineSession:
     def _ensure_pool(self) -> None:
         """(Re)create the persistent pool when one can and should exist.
 
-        ``workers=1`` sessions and sessions inside daemonic processes
-        stay poolless — their sweeps run serial through the engine's own
-        fallback, computing identical results.  A pool the engine
-        dropped (broken mid-sweep) is replaced here on the next call.
+        ``workers=1`` sessions, sessions inside daemonic processes and
+        degraded engines stay poolless — their sweeps run serial
+        through the engine's own fallback, computing identical results.
+        A pool the engine dropped without replacing is re-created here
+        on the next call.
         """
-        if self.engine.workers <= 1:
-            return
-        if multiprocessing.current_process().daemon:
-            return
         if self.engine.pool is not None:
             return
+        pool = self._build_pool()
+        if pool is not None:
+            self.engine.attach_pool(pool)
+
+    def _build_pool(self) -> Optional[ProcessPoolExecutor]:
+        """A fresh pool with hydrated workers, or ``None`` if one cannot
+        (or should not) exist.  Used both for attach-time pools and as
+        the engine's ``pool_supplier`` for mid-sweep replacements."""
+        if self.engine.workers <= 1 or self.engine.degraded:
+            return None
+        if multiprocessing.current_process().daemon:
+            return None
         tuner_db_path = self._active_tuner_db_path()
         try:
-            pool = ProcessPoolExecutor(
+            return ProcessPoolExecutor(
                 max_workers=self.engine.workers,
                 mp_context=_pool_context(),
                 initializer=_session_worker_init,
@@ -161,8 +188,7 @@ class EngineSession:
         except OSError:
             # No pool to be had (fd/process limits); sweeps fall back
             # to the engine's serial path with identical results.
-            return
-        self.engine.attach_pool(pool)
+            return None
 
     @staticmethod
     def _active_tuner_db_path() -> Optional[str]:
@@ -180,6 +206,7 @@ class EngineSession:
         if self._closed:
             return
         self._closed = True
+        self.engine.pool_supplier = None
         pool = self.engine.detach_pool()
         if pool is not None:
             pool.shutdown()

@@ -13,8 +13,18 @@ to what the engine has learned about it::
 Records are written one JSON object per line, so concurrent processes
 can append safely and a truncated or corrupted line loses only itself —
 :meth:`TuneDB.load` skips anything unparsable and keeps counting
-(``corrupt_lines``).  The last record for a key wins, merged field-wise,
+(``corrupt_lines``).  A record is *committed* only once its trailing
+newline is on disk: an unterminated final line is a torn append (a
+writer died mid-``write``) and is never trusted, even if its prefix
+happens to parse.  The last record for a key wins, merged field-wise,
 which makes re-tuning a plain append.
+
+Integrity tooling: :meth:`TuneDB.fsck` reports every torn or invalid
+line (kind, line number, preview) without modifying anything, and
+:meth:`TuneDB.compact` rewrites the file to one clean merged line per
+key — written to a temp file, fsynced, then atomically ``os.replace``-d
+over the original, so a crash mid-compaction leaves the old file
+intact.
 
 Two consumers:
 
@@ -32,17 +42,20 @@ import json
 import os
 import pathlib
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.registry import CollectiveSpec
 from ..fabric.geometry import Grid
 from ..model.params import MachineParams
+from . import faults
 
 __all__ = [
     "SCHEMA_VERSION",
     "TuneRecord",
     "TuneDB",
     "PlanStore",
+    "FsckIssue",
+    "FsckReport",
     "default_db_path",
     "spec_to_key",
     "spec_from_key",
@@ -95,6 +108,19 @@ def _key_id(key: Dict[str, object]) -> str:
     return json.dumps(key, sort_keys=True, separators=(",", ":"))
 
 
+def _encode_record(record: "TuneRecord") -> bytes:
+    """One record as its on-disk line (newline-terminated UTF-8)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "key": record.key,
+        "predicted_cycles": record.predicted_cycles,
+        "measured_cycles": record.measured_cycles,
+        "winner_algorithm": record.winner_algorithm,
+        "measured": record.measured,
+    }
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
 @dataclass
 class TuneRecord:
     """Everything the store knows about one spec.
@@ -114,12 +140,80 @@ class TuneRecord:
         return spec_from_key(self.key)
 
 
+class _RecordError(ValueError):
+    """A line that does not decode into a valid record; ``kind`` says why."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def _parse_record(line: str) -> TuneRecord:
+    """Decode one store line into a validated :class:`TuneRecord`."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise _RecordError("invalid-json", str(err)) from None
+    if not isinstance(obj, dict) or obj.get("schema") != SCHEMA_VERSION:
+        schema = obj.get("schema") if isinstance(obj, dict) else None
+        raise _RecordError("bad-schema", f"unknown schema {schema!r}")
+    try:
+        record = TuneRecord(
+            key=obj["key"],
+            predicted_cycles=obj.get("predicted_cycles"),
+            measured_cycles=obj.get("measured_cycles"),
+            winner_algorithm=obj.get("winner_algorithm"),
+            measured={
+                str(k): int(v)
+                for k, v in (obj.get("measured") or {}).items()
+            },
+        )
+        record.spec()  # validates the key round-trips to a spec
+    except (ValueError, KeyError, TypeError) as err:
+        raise _RecordError("bad-record", str(err)) from None
+    return record
+
+
+def _preview(line: str, limit: int = 60) -> str:
+    return line if len(line) <= limit else line[:limit] + "..."
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One damaged store line: where it is and what is wrong with it.
+
+    ``kind`` is one of ``torn-tail`` (unterminated final line — a torn
+    append), ``invalid-json``, ``bad-schema`` or ``bad-record``.
+    """
+
+    line_no: int
+    kind: str
+    preview: str
+
+
+@dataclass
+class FsckReport:
+    """What :meth:`TuneDB.fsck` found, without having modified anything."""
+
+    path: pathlib.Path
+    total_lines: int = 0
+    valid_records: int = 0
+    distinct_keys: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+    torn_tail: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+
 class TuneDB:
     """Append-only JSON-lines store of :class:`TuneRecord` per spec.
 
     Loading tolerates corruption line by line; writing is append-only so
     several processes can share one file.  ``path=None`` uses
-    :func:`default_db_path`.
+    :func:`default_db_path`.  :meth:`fsck` audits the file;
+    :meth:`compact` rewrites it clean, atomically.
     """
 
     def __init__(
@@ -130,41 +224,125 @@ class TuneDB:
         self.path = pathlib.Path(path) if path is not None else default_db_path()
         self._records: Dict[str, TuneRecord] = {}
         self.corrupt_lines = 0
+        self.torn_tail = False
         if autoload:
             self.load()
 
     # -- persistence --------------------------------------------------------
 
+    def _lines(self) -> Tuple[List[str], bool]:
+        """The file's lines plus whether the final one is torn
+        (unterminated — its append never committed)."""
+        data = self.path.read_bytes()
+        torn = bool(data) and not data.endswith(b"\n")
+        lines = data.decode("utf-8", errors="replace").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        return lines, torn
+
     def load(self) -> int:
-        """(Re)read the file, skipping corrupt lines; returns #records."""
+        """(Re)read the file, skipping corrupt lines; returns #records.
+
+        An unterminated final line counts as corrupt (``torn_tail``):
+        the append protocol commits a record only with its newline, so
+        a torn tail is a crashed writer's partial record even when its
+        prefix happens to parse.
+        """
         self._records.clear()
         self.corrupt_lines = 0
+        self.torn_tail = False
         if not self.path.exists():
             return 0
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
+        lines, torn = self._lines()
+        for line_no, line in enumerate(lines, start=1):
+            if torn and line_no == len(lines):
+                self.torn_tail = True
+                self.corrupt_lines += 1
+                continue
+            if not line.strip():
                 continue
             try:
-                obj = json.loads(line)
-                if obj.get("schema") != SCHEMA_VERSION:
-                    raise ValueError(f"unknown schema {obj.get('schema')!r}")
-                record = TuneRecord(
-                    key=obj["key"],
-                    predicted_cycles=obj.get("predicted_cycles"),
-                    measured_cycles=obj.get("measured_cycles"),
-                    winner_algorithm=obj.get("winner_algorithm"),
-                    measured={
-                        str(k): int(v)
-                        for k, v in (obj.get("measured") or {}).items()
-                    },
-                )
-                record.spec()  # validates the key round-trips to a spec
-            except (ValueError, KeyError, TypeError):
+                record = _parse_record(line)
+            except _RecordError:
                 self.corrupt_lines += 1
                 continue
             self._merge(record)
         return len(self._records)
+
+    def fsck(self) -> FsckReport:
+        """Audit the file: report every torn or invalid line, touch nothing.
+
+        The report names each damaged line (1-based number, kind,
+        preview); ``clean`` means the file would load with zero
+        ``corrupt_lines``.  Repair is :meth:`compact`'s job.
+        """
+        report = FsckReport(path=self.path)
+        if not self.path.exists():
+            return report
+        lines, torn = self._lines()
+        report.total_lines = len(lines)
+        report.torn_tail = torn
+        keys = set()
+        for line_no, line in enumerate(lines, start=1):
+            if torn and line_no == len(lines):
+                report.issues.append(
+                    FsckIssue(line_no, "torn-tail", _preview(line))
+                )
+                continue
+            if not line.strip():
+                continue
+            try:
+                record = _parse_record(line)
+            except _RecordError as err:
+                report.issues.append(
+                    FsckIssue(line_no, err.kind, _preview(line))
+                )
+                continue
+            report.valid_records += 1
+            keys.add(_key_id(record.key))
+        report.distinct_keys = len(keys)
+        return report
+
+    def compact(self) -> FsckReport:
+        """Rewrite the file to one clean merged line per key, atomically.
+
+        Surviving records are the same ones :meth:`load` keeps; torn and
+        invalid lines are dropped.  The new contents go to a temp file
+        in the same directory, are fsynced, and then ``os.replace`` the
+        original — a crash at any point leaves either the old or the
+        new file, never a mix.  Returns the pre-compaction
+        :meth:`fsck` report (what was repaired); in-memory state is
+        reloaded from the compacted file.
+        """
+        report = self.fsck()
+        if not self.path.exists():
+            return report
+        self.load()
+        payload = b"".join(
+            _encode_record(record) for record in self._records.values()
+        )
+        tmp = self.path.with_name(
+            f"{self.path.name}.compact.{os.getpid()}.tmp"
+        )
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            written = 0
+            while written < len(payload):
+                written += os.write(fd, payload[written:])
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        try:  # best-effort: make the rename itself durable
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        self.load()
+        return report
 
     def _merge(self, record: TuneRecord) -> TuneRecord:
         """Field-wise merge of ``record`` into the in-memory map."""
@@ -184,20 +362,19 @@ class TuneDB:
 
     def _append(self, record: TuneRecord) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "key": record.key,
-            "predicted_cycles": record.predicted_cycles,
-            "measured_cycles": record.measured_cycles,
-            "winner_algorithm": record.winner_algorithm,
-            "measured": record.measured,
-        }
         # One os.write of the whole encoded line on an O_APPEND fd:
         # buffered text IO may flush a long line in several writes, and
         # two processes appending concurrently can interleave those
         # partial flushes into a line neither of them wrote.  A single
         # append-mode write keeps every record intact on its own line.
-        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        line = _encode_record(record)
+        fault = faults.draw("append")
+        if fault is not None and fault.kind == "torn":
+            # Injected torn append: persist only a prefix of the line
+            # (never the committing newline), as if we died mid-write.
+            fraction = fault.arg if fault.arg is not None else 0.5
+            cut = max(1, min(len(line) - 1, int(len(line) * fraction)))
+            line = line[:cut]
         fd = os.open(
             self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
         )

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import glob
+import os
+import time
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -21,4 +25,32 @@ settings.load_profile("repro")
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def shm_leak_guard():
+    """Fail a test that leaves ``repro_shm_*`` segments in ``/dev/shm``.
+
+    Engine test modules apply this to every test via
+    ``pytestmark = pytest.mark.usefixtures("shm_leak_guard")``: the
+    shared-memory data plane's contract is that *no* path — success,
+    worker raise, timeout, pool death — leaks a segment.  Abandoned
+    (timed-out) attempts reclaim their segments via done-callbacks that
+    may run shortly after a sweep returns, so the check polls briefly
+    before declaring a leak.
+    """
+    from repro.engine import shm
+
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - no shm mount
+        yield
+        return
+    pattern = f"/dev/shm/{shm.NAME_PREFIX}_*"
+    before = set(glob.glob(pattern))
+    yield
+    deadline = time.monotonic() + 5.0
+    leaked = set(glob.glob(pattern)) - before
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.05)
+        leaked = set(glob.glob(pattern)) - before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
 

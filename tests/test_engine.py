@@ -35,6 +35,8 @@ from repro.engine import (
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 
+pytestmark = pytest.mark.usefixtures("shm_leak_guard")
+
 
 @pytest.fixture(autouse=True)
 def fresh_cache():

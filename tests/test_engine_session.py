@@ -27,6 +27,8 @@ from repro.engine import (
 )
 from repro.engine import shm
 
+pytestmark = pytest.mark.usefixtures("shm_leak_guard")
+
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
@@ -150,20 +152,24 @@ class TestSessionLifecycle:
         assert serial_points == len(specs)    # never went parallel
         assert poolless                        # and never built a pool
 
-    def test_broken_pool_is_replaced_on_next_sweep(self, rng):
+    def test_broken_pool_is_replaced_mid_sweep(self, rng):
         specs, datas = _mixed_batch(rng, repeats=1)
         baseline = wse.run_many(specs, datas)
-        with EngineSession(workers=2) as session:
+        with EngineSession(workers=2, backoff_base=0.01) as session:
             _assert_outcomes_equal(session.sweep(specs, datas), baseline)
             # Kill the pool out from under the session.
             session.engine.pool.submit(os._exit, 13)
-            # The dying pool surfaces as a serial-fallback sweep ...
-            _assert_outcomes_equal(session.sweep(specs, datas), baseline)
-            assert session.engine.pool is None
-            # ... and the session stands a fresh pool up right after.
+            # The dying pool is replaced *within* the sweep — the session
+            # supplies a hydrated substitute and the sweep still finishes
+            # bit-identical, without falling back to serial.
             _assert_outcomes_equal(session.sweep(specs, datas), baseline)
             assert session.engine.pool is not None
-            assert session.stats.cold_starts == 2
+            assert session.stats.pool_replacements == 1
+            assert session.stats.cold_starts == 1
+            # The replacement is warm: the next sweep just reuses it.
+            reuses = session.stats.pool_reuses
+            _assert_outcomes_equal(session.sweep(specs, datas), baseline)
+            assert session.stats.pool_reuses == reuses + 1
 
 
 class TestDefaultSessionRouting:
