@@ -100,6 +100,7 @@ def test_engine_throughput_64_points(out_dir):
 
     report = {
         "points": N_POINTS,
+        "sim_backend": warm_stats["sim_backend"],
         "distinct_specs": len(set(specs)),
         "pe_row": P,
         "workers": PARALLEL_WORKERS,

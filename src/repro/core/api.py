@@ -270,20 +270,25 @@ def _extract_result(spec: CollectiveSpec, sim: SimResult) -> np.ndarray:
     raise ValueError(f"unknown collective kind {kind!r}")
 
 
-def execute(plan: Plan, data: np.ndarray) -> CollectiveOutcome:
+def execute(
+    plan: Plan, data: np.ndarray, backend: Optional[str] = None
+) -> CollectiveOutcome:
     """Run a planned collective on the fabric simulator.
 
     ``data`` is the collective's natural input: per-PE rows ``(P, B)`` or
     a grid ``(M, N, B)`` for the reducing/gathering kinds, root-held
     blocks for ``scatter``, a single ``B``-vector for ``broadcast``.  The
     plan's schedule is treated as read-only, so one plan can serve any
-    number of executions.
+    number of executions.  ``backend`` selects the simulator backend
+    (``None`` defers to ``REPRO_SIM_BACKEND`` / the default); the
+    backend that actually ran is recorded on ``outcome.sim.backend``.
     """
     spec = plan.spec
     sim = simulate(
         plan.schedule,
         inputs=_prepare_inputs(spec, data),
         params=spec.params,
+        backend=backend,
         combine=_combine_for(spec.op),
     )
     return CollectiveOutcome(
@@ -300,6 +305,7 @@ def run_many(
     specs: Sequence[CollectiveSpec],
     datas: Sequence[np.ndarray],
     use_cache: bool = True,
+    backend: Optional[str] = None,
 ) -> List[CollectiveOutcome]:
     """Execute a batch of collectives, planning once per distinct spec.
 
@@ -318,7 +324,10 @@ def run_many(
     for spec in specs:
         if spec not in plans:
             plans[spec] = plan(spec, use_cache=use_cache)
-    return [execute(plans[spec], data) for spec, data in zip(specs, datas)]
+    return [
+        execute(plans[spec], data, backend=backend)
+        for spec, data in zip(specs, datas)
+    ]
 
 
 # ---------------------------------------------------------------------------

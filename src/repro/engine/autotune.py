@@ -35,6 +35,7 @@ import numpy as np
 from ..core import planner, registry
 from ..core.cache import PLAN_CACHE
 from ..core.registry import CollectiveSpec
+from ..fabric.simulator import resolve_backend
 from .pool import SweepEngine
 from .store import TuneDB
 
@@ -46,16 +47,21 @@ class Tuner:
 
     Consulted by :func:`repro.core.planner.rank_spec`; answers with the
     DB's measured winner only when one exists for the (auto-normalized)
-    spec *and* it is among the feasible candidates being ranked.
+    spec *and* it is among the feasible candidates being ranked *and*
+    it was measured on the active simulator backend (``backend=None``
+    resolves the active backend per call), so measurements taken on a
+    different backend never steer planning.
     """
 
-    def __init__(self, db: TuneDB) -> None:
+    def __init__(self, db: TuneDB, backend: Optional[str] = None) -> None:
         self.db = db
+        self.backend = backend
 
     def __call__(
         self, spec: CollectiveSpec, candidates: Dict[str, float]
     ) -> Optional[str]:
-        winner = self.db.winner(spec.with_algorithm("auto"))
+        backend = self.backend or resolve_backend(None)
+        winner = self.db.winner(spec.with_algorithm("auto"), backend=backend)
         if winner is None or winner not in candidates:
             return None
         return winner
@@ -137,12 +143,14 @@ def tune(
             for name, outcome in zip(candidates, outcomes)
         }
         winner = min(candidates, key=lambda name: (measured[name], name))
+        winner_outcome = outcomes[candidates.index(winner)]
         db.record(
             auto_spec,
-            predicted_cycles=outcomes[candidates.index(winner)].predicted_cycles,
+            predicted_cycles=winner_outcome.predicted_cycles,
             measured_cycles=measured[winner],
             winner_algorithm=winner,
             measured=measured,
+            backend=winner_outcome.sim.backend,
         )
     PLAN_CACHE.clear()
     return db

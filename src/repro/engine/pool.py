@@ -93,6 +93,7 @@ import numpy as np
 
 from ..core.api import CollectiveOutcome, Plan, execute, plan
 from ..core.registry import CollectiveSpec
+from ..fabric.simulator import resolve_backend
 from . import faults, shm
 
 __all__ = ["SweepEngine", "EngineStats", "default_workers"]
@@ -345,12 +346,15 @@ class EngineStats:
     quarantined: int = 0
     #: 1 once the engine gave up on pools (``max_pool_deaths`` exceeded).
     degraded: int = 0
+    #: simulator backend active during the engine's sweeps ("" until the
+    #: first sweep resolves it).
+    sim_backend: str = ""
 
     @property
     def points_per_second(self) -> float:
         return self.points / self.wall_time if self.wall_time > 0 else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "points": self.points,
             "distinct_specs": self.distinct_specs,
@@ -371,6 +375,7 @@ class EngineStats:
             "pool_replacements": self.pool_replacements,
             "quarantined": self.quarantined,
             "degraded": self.degraded,
+            "sim_backend": self.sim_backend,
         }
 
 
@@ -547,6 +552,7 @@ class SweepEngine:
         self.stats.points += len(specs)
         self.stats.distinct_specs += len(groups)
         self.stats.sweeps += 1
+        self.stats.sim_backend = resolve_backend(None)
         self.stats.chunks += n_chunks
         self.stats.workers = max(self.stats.workers, used_workers)
         self.stats.wall_time += time.perf_counter() - started

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .geometry import PORT_NAMES, Grid, Port
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "SampleClock",
     "PEProgram",
     "Schedule",
+    "ScheduleArrays",
+    "lower_arrays",
     "merge_sequential",
     "merge_parallel",
 ]
@@ -325,6 +329,191 @@ class Schedule:
             "ops": n_ops,
             "colors": len(self.colors_used()),
         }
+
+
+# -- array pre-lowering -------------------------------------------------------
+
+#: Op kind codes used by the dense lowering (0 = no op / padding).
+K_SEND, K_RECV, K_RRS, K_SENDRECV, K_SENDCTRL, K_DELAY, K_SAMPLE = range(1, 8)
+
+
+@dataclass
+class ScheduleArrays:
+    """Dense array form of a :class:`Schedule` for the vectorized backend.
+
+    Everything here is immutable run-to-run state: router rule tables and
+    processor op tables flattened into ndarrays indexed ``[pe, ...]`` (with
+    colors remapped to dense indices in ascending color order, so scanning
+    the lane axis reproduces the reference simulator's sorted-color scans).
+    Mutable per-run state (FIFO rings, counters) lives in the simulator.
+    """
+
+    n_pes: int
+    #: sorted original color values; index in this list is the dense lane.
+    colors: List[int]
+    #: neighbor flat index per (pe, port), -1 at the grid edge (RAMP col unused).
+    nbr: np.ndarray
+    # Router rules, padded to the max rules-per-(pe, color) R:
+    r_accept: np.ndarray   # [P, C, R] int8, -1 = no rule
+    r_fwd: np.ndarray      # [P, C, R, 5] bool
+    r_count: np.ndarray    # [P, C, R] int64, -1 = unbounded
+    r_n: np.ndarray        # [P, C] int16, rules per (pe, color)
+    # Processor ops, padded to the max ops-per-PE O:
+    op_kind: np.ndarray    # [P, O] int8 (K_* codes, 0 = padding)
+    op_c1: np.ndarray      # [P, O] int16 dense color lane (send/recv/in/ctrl)
+    op_c2: np.ndarray      # [P, O] int16 dense color lane (out/recv side)
+    op_off: np.ndarray     # [P, O] int64 (send-side / main offset)
+    op_off2: np.ndarray    # [P, O] int64 (SendRecv recv offset)
+    op_len: np.ndarray     # [P, O] int64 (length; Delay cycles; SampleClock tag id)
+    op_total: np.ndarray   # [P, O] int64 (total wavelets to move)
+    op_combine: np.ndarray  # [P, O] bool
+    n_ops: np.ndarray      # [P] int32
+    #: SampleClock tag strings, indexed by op_len for K_SAMPLE ops.
+    tags: List[str]
+    #: exact number of wavelets each PE ever emits (pending-queue capacity).
+    emit_total: np.ndarray  # [P] int64
+    #: op kind codes that actually occur in the schedule.
+    kinds_present: frozenset
+
+    @property
+    def n_colors(self) -> int:
+        return len(self.colors)
+
+
+def lower_arrays(schedule: Schedule) -> ScheduleArrays:
+    """Lower ``schedule`` into :class:`ScheduleArrays` (cached per instance).
+
+    The lowering is pure and the schedule IR is treated as immutable once
+    built (plans are cached and shared), so the result is memoized on the
+    schedule object itself.
+    """
+    cached = schedule.__dict__.get("_lowered_arrays")
+    if cached is not None:
+        return cached
+
+    P = schedule.grid.size
+    colors = schedule.colors_used()
+    cmap = {c: i for i, c in enumerate(colors)}
+    C = max(1, len(colors))
+
+    nbr = np.full((P, 5), -1, dtype=np.int32)
+    for pe in range(P):
+        for port in (Port.WEST, Port.EAST, Port.NORTH, Port.SOUTH):
+            n = schedule.grid.neighbor(pe, port)
+            if n is not None:
+                nbr[pe, port] = n
+
+    R = max(
+        [len(rules) for prog in schedule.programs.values()
+         for rules in prog.router.values()],
+        default=0,
+    )
+    R = max(1, R)
+    r_accept = np.full((P, C, R), -1, dtype=np.int8)
+    r_fwd = np.zeros((P, C, R, 5), dtype=bool)
+    r_count = np.full((P, C, R), -1, dtype=np.int64)
+    r_n = np.zeros((P, C), dtype=np.int16)
+
+    O = max([len(p.ops) for p in schedule.programs.values()], default=0)
+    O = max(1, O)
+    op_kind = np.zeros((P, O), dtype=np.int8)
+    op_c1 = np.full((P, O), -1, dtype=np.int16)
+    op_c2 = np.full((P, O), -1, dtype=np.int16)
+    op_off = np.zeros((P, O), dtype=np.int64)
+    op_off2 = np.zeros((P, O), dtype=np.int64)
+    op_len = np.zeros((P, O), dtype=np.int64)
+    op_total = np.zeros((P, O), dtype=np.int64)
+    op_combine = np.zeros((P, O), dtype=bool)
+    n_ops = np.zeros(P, dtype=np.int32)
+    emit_total = np.zeros(P, dtype=np.int64)
+    tags: List[str] = []
+    tag_ids: Dict[str, int] = {}
+    kinds = set()
+
+    for pe, prog in schedule.programs.items():
+        for color, rule_list in prog.router.items():
+            ci = cmap[color]
+            r_n[pe, ci] = len(rule_list)
+            for j, rule in enumerate(rule_list):
+                r_accept[pe, ci, j] = rule.accept
+                for out in rule.forward:
+                    r_fwd[pe, ci, j, out] = True
+                if rule.count is not None:
+                    r_count[pe, ci, j] = rule.count
+        n_ops[pe] = len(prog.ops)
+        for j, op in enumerate(prog.ops):
+            if isinstance(op, Send):
+                op_kind[pe, j] = K_SEND
+                op_c1[pe, j] = cmap[op.color]
+                op_off[pe, j] = op.offset
+                op_len[pe, j] = op.length
+                op_total[pe, j] = op.length
+                emit_total[pe] += op.length
+            elif isinstance(op, Recv):
+                op_kind[pe, j] = K_RECV
+                op_c1[pe, j] = cmap[op.color]
+                op_off[pe, j] = op.offset
+                op_len[pe, j] = op.length
+                op_total[pe, j] = op.total_wavelets
+                op_combine[pe, j] = op.combine
+            elif isinstance(op, RecvReduceSend):
+                op_kind[pe, j] = K_RRS
+                op_c1[pe, j] = cmap[op.in_color]
+                op_c2[pe, j] = cmap[op.out_color]
+                op_off[pe, j] = op.offset
+                op_len[pe, j] = op.length
+                op_total[pe, j] = op.length
+                emit_total[pe] += op.length
+            elif isinstance(op, SendRecv):
+                op_kind[pe, j] = K_SENDRECV
+                op_c1[pe, j] = cmap[op.send_color]
+                op_c2[pe, j] = cmap[op.recv_color]
+                op_off[pe, j] = op.send_offset
+                op_off2[pe, j] = op.recv_offset
+                op_len[pe, j] = op.length
+                op_total[pe, j] = op.length
+                op_combine[pe, j] = op.combine
+                emit_total[pe] += op.length
+            elif isinstance(op, SendCtrl):
+                op_kind[pe, j] = K_SENDCTRL
+                op_c1[pe, j] = cmap[op.color]
+                emit_total[pe] += 1
+            elif isinstance(op, Delay):
+                op_kind[pe, j] = K_DELAY
+                op_len[pe, j] = op.cycles
+            elif isinstance(op, SampleClock):
+                op_kind[pe, j] = K_SAMPLE
+                tid = tag_ids.setdefault(op.tag, len(tags))
+                if tid == len(tags):
+                    tags.append(op.tag)
+                op_len[pe, j] = tid
+            else:
+                raise TypeError(f"unknown op {op!r} on PE {pe}")
+            kinds.add(int(op_kind[pe, j]))
+
+    lowered = ScheduleArrays(
+        n_pes=P,
+        colors=colors,
+        nbr=nbr,
+        r_accept=r_accept,
+        r_fwd=r_fwd,
+        r_count=r_count,
+        r_n=r_n,
+        op_kind=op_kind,
+        op_c1=op_c1,
+        op_c2=op_c2,
+        op_off=op_off,
+        op_off2=op_off2,
+        op_len=op_len,
+        op_total=op_total,
+        op_combine=op_combine,
+        n_ops=n_ops,
+        tags=tags,
+        emit_total=emit_total,
+        kinds_present=frozenset(kinds),
+    )
+    schedule.__dict__["_lowered_arrays"] = lowered
+    return lowered
 
 
 def merge_parallel(schedules: Sequence["Schedule"], name: str) -> Schedule:

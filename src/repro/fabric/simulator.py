@@ -27,6 +27,7 @@ therefore :math:`O(\\text{wavelet movements})`, which is the energy term
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -57,7 +58,13 @@ __all__ = [
     "SimResult",
     "FabricSimulator",
     "simulate",
+    "resolve_backend",
+    "SIM_BACKENDS",
 ]
+
+#: Recognised simulator backends.  ``vectorized`` falls back to
+#: ``reference`` automatically for schedules it does not cover.
+SIM_BACKENDS = ("vectorized", "reference")
 
 _LINK_PORTS = (Port.WEST, Port.EAST, Port.NORTH, Port.SOUTH)
 
@@ -91,6 +98,9 @@ class SimResult:
     clock_samples: Dict[str, Dict[int, int]]
     #: per-PE cycle at which the processor finished its program.
     completion: np.ndarray
+    #: simulator backend that produced this result ("reference" or
+    #: "vectorized"); excluded from semantic comparisons.
+    backend: str = "reference"
 
     @property
     def max_contention(self) -> int:
@@ -715,11 +725,45 @@ class FabricSimulator:
         raise SimulationError(f"unknown op {op!r} on PE {pe}")
 
 
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve the simulator backend: explicit arg > ``REPRO_SIM_BACKEND``
+    env var > default ``vectorized``."""
+    if backend is None:
+        backend = os.environ.get("REPRO_SIM_BACKEND", "").strip() or "vectorized"
+    if backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown simulator backend {backend!r} (expected one of {SIM_BACKENDS})"
+        )
+    return backend
+
+
 def simulate(
     schedule: Schedule,
     inputs: Dict[int, np.ndarray] | None = None,
     params: MachineParams = CS2,
+    backend: str | None = None,
     **kwargs,
 ) -> SimResult:
-    """Build a :class:`FabricSimulator` for ``schedule`` and run it."""
+    """Simulate ``schedule`` on the selected backend.
+
+    ``backend`` may be ``"vectorized"`` (default), ``"reference"``, or
+    ``None`` to consult the ``REPRO_SIM_BACKEND`` environment variable.
+    The vectorized backend transparently falls back to the reference
+    simulator for schedules outside its supported envelope; both produce
+    bit-identical :class:`SimResult`\\ s (up to the ``backend`` tag).
+    """
+    backend = resolve_backend(backend)
+    if backend == "vectorized":
+        from .vectorized import UnsupportedSchedule, VectorizedSimulator
+
+        try:
+            sim = VectorizedSimulator(
+                schedule, inputs=inputs, params=params, **kwargs
+            )
+        except UnsupportedSchedule:
+            pass
+        else:
+            result = sim.run()
+            result.backend = "vectorized"
+            return result
     return FabricSimulator(schedule, inputs=inputs, params=params, **kwargs).run()

@@ -20,6 +20,7 @@ import pytest
 
 from repro import CollectiveSpec, Grid, wse
 from repro.core import planner
+from repro.fabric.simulator import resolve_backend
 from repro.core.cache import PLAN_CACHE, PlanCache
 from repro.engine import (
     SweepEngine,
@@ -101,7 +102,8 @@ class TestSerialParallelEquivalence:
             if name != analytic.algorithm
         )
         db = TuneDB(tmp_path / "db.jsonl")
-        db.record(spec, winner_algorithm=loser, measured={loser: 1})
+        db.record(spec, winner_algorithm=loser, measured={loser: 1},
+                  backend=resolve_backend(None))
         datas = [rng.normal(size=(8, 16)) for _ in range(3)]
         with use_tuner(db):
             outs = SweepEngine(workers=2).sweep([spec] * 3, datas)
@@ -266,7 +268,8 @@ class TestTunerOverridesPlanner:
             if name != analytic.algorithm
         )
         db = TuneDB(tmp_path / "db.jsonl")
-        db.record(spec, winner_algorithm=loser, measured={loser: 1})
+        db.record(spec, winner_algorithm=loser, measured={loser: 1},
+                  backend=resolve_backend(None))
         tuned = planner.rank_spec(spec, tuner=Tuner(db))
         assert tuned.algorithm == loser
         assert tuned.tuned is True
@@ -300,7 +303,8 @@ class TestTunerOverridesPlanner:
             if name != analytic_plan.algorithm
         )
         db = TuneDB(tmp_path / "db.jsonl")
-        db.record(spec, winner_algorithm=loser, measured={loser: 1})
+        db.record(spec, winner_algorithm=loser, measured={loser: 1},
+                  backend=resolve_backend(None))
         with use_tuner(db):
             tuned_plan = wse.plan(spec)
             assert tuned_plan.algorithm == loser
