@@ -41,7 +41,7 @@ Spec-level batching (one plan per distinct spec, cached across calls)::
     outs = wse.run_many([spec] * 8, steps)   # planned once, executed 8x
 """
 
-from . import autogen, collectives, core, engine, fabric, model
+from . import autogen, collectives, core, engine, fabric, model, obs
 from . import core as wse
 from .core import (
     PLAN_CACHE,
@@ -68,6 +68,7 @@ __all__ = [
     "engine",
     "fabric",
     "model",
+    "obs",
     "wse",
     "CollectiveOutcome",
     "CollectiveSpec",

@@ -42,6 +42,7 @@ from ..engine.pool import SweepEngine
 from ..engine.session import EngineSession, get_session
 from ..fabric.geometry import Grid
 from ..model import analytic
+from ..obs import spans as _obs
 from ..model.params import CS2, MachineParams
 from ..validation.verify import ATOL, RTOL, random_inputs
 
@@ -199,15 +200,18 @@ class _MeasuredBatch:
     def run(self, workers: Optional[int] = None) -> None:
         if not self.specs:
             return
-        session = None if workers is not None else get_session()
-        if session is None:
-            n_workers = _sweep_workers(workers)
-            if n_workers > 1:
-                session = bench_session(n_workers)
-        if session is not None:
-            outcomes = session.sweep(self.specs, self.datas)
-        else:
-            outcomes = SweepEngine(workers=1).sweep(self.specs, self.datas)
+        with _obs.span("bench.sweep", points=len(self.specs)):
+            session = None if workers is not None else get_session()
+            if session is None:
+                n_workers = _sweep_workers(workers)
+                if n_workers > 1:
+                    session = bench_session(n_workers)
+            if session is not None:
+                outcomes = session.sweep(self.specs, self.datas)
+            else:
+                outcomes = SweepEngine(workers=1).sweep(
+                    self.specs, self.datas
+                )
         for spec, data, point, out in zip(
             self.specs, self.datas, self.points, outcomes
         ):

@@ -47,6 +47,7 @@ from ..fabric.geometry import Grid
 from ..fabric.ir import Schedule
 from ..fabric.simulator import SimResult, simulate
 from ..model.params import CS2, MachineParams
+from ..obs import spans as _obs
 from . import planner, registry
 from .cache import PLAN_CACHE
 from .registry import REDUCE_OPS, CollectiveSpec
@@ -158,6 +159,18 @@ def plan(spec: CollectiveSpec, use_cache: bool = True) -> Plan:
     Planning is memoized in :data:`~repro.core.cache.PLAN_CACHE` keyed by
     the spec itself; pass ``use_cache=False`` to force a fresh build.
     """
+    if _obs.enabled():
+        with _obs.span(
+            "plan", kind=spec.kind, pes=spec.grid.size, b=spec.b,
+            algorithm=spec.algorithm,
+        ) as sp:
+            built = _plan_cached(spec, use_cache)
+            sp.add(resolved=built.algorithm)
+            return built
+    return _plan_cached(spec, use_cache)
+
+
+def _plan_cached(spec: CollectiveSpec, use_cache: bool) -> Plan:
     if not use_cache:
         return _plan_uncached(spec)
     return PLAN_CACHE.get_or_plan(spec, _plan_uncached)
@@ -283,6 +296,21 @@ def execute(
     (``None`` defers to ``REPRO_SIM_BACKEND`` / the default); the
     backend that actually ran is recorded on ``outcome.sim.backend``.
     """
+    if _obs.enabled():
+        with _obs.span(
+            "execute", kind=plan.spec.kind, pes=plan.grid.size, b=plan.b,
+            algorithm=plan.algorithm,
+        ) as sp:
+            outcome = _execute_impl(plan, data, backend)
+            sp.add(cycles=outcome.measured_cycles,
+                   backend=outcome.sim.backend)
+            return outcome
+    return _execute_impl(plan, data, backend)
+
+
+def _execute_impl(
+    plan: Plan, data: np.ndarray, backend: Optional[str]
+) -> CollectiveOutcome:
     spec = plan.spec
     sim = simulate(
         plan.schedule,

@@ -94,6 +94,8 @@ import numpy as np
 from ..core.api import CollectiveOutcome, Plan, execute, plan
 from ..core.registry import CollectiveSpec
 from ..fabric.simulator import resolve_backend
+from ..obs import spans as _obs
+from ..obs.metrics import METRICS
 from . import faults, shm
 
 __all__ = ["SweepEngine", "EngineStats", "default_workers"]
@@ -132,20 +134,62 @@ def _env_number(name: str, default, convert):
         ) from None
 
 
+@dataclass
+class _TelemetryReply:
+    """A chunk reply wrapped with the worker-side telemetry that made it.
+
+    Shipped only when the parent was recording at submit time (``meta``
+    rode along with the chunk); the parent unwraps it in
+    :func:`_consume_reply`, merging ``events`` onto its own timeline
+    under a track named by the worker ``pid``.
+    """
+
+    reply: "_ChunkReply"
+    events: List[dict]
+    pid: int
+
+
+def _chunk_with_telemetry(meta: dict, fault, body):
+    """Run a chunk body under a worker-local span collector.
+
+    Recording is forced on for the chunk (a spawn-started worker has no
+    inherited enablement), events go to a fresh collector (a forked
+    worker must not re-ship events inherited from the parent), and the
+    injected fault runs *inside* the span so delays are visible on the
+    worker's track.
+    """
+    previous = _obs.set_enabled(True)
+    try:
+        with _obs.collect() as collected:
+            with _obs.span("engine.chunk", **meta):
+                faults.perform(fault)
+                reply = body()
+        return _TelemetryReply(reply, collected.events, os.getpid())
+    finally:
+        _obs.set_enabled(previous)
+
+
 def _run_chunk(
     chunk_plan: Plan,
     datas: List[np.ndarray],
     fault: Optional[faults.FaultSpec] = None,
-) -> List[CollectiveOutcome]:
+    meta: Optional[dict] = None,
+) -> "_ChunkReply":
     """Worker body (pickle transport): execute every point of a chunk.
 
     The plan arrives fully built from the parent, so workers never plan
     — execution state cannot depend on what the worker process knows
     (registry contents, tuner hooks, start method).  ``fault`` is an
-    injected kill/delay token from the parent's fault plan, if any.
+    injected kill/delay token from the parent's fault plan, if any;
+    ``meta`` (present only when the parent records telemetry) labels the
+    worker-side chunk span.
     """
-    faults.perform(fault)
-    return [execute(chunk_plan, data) for data in datas]
+    if meta is None:
+        faults.perform(fault)
+        return [execute(chunk_plan, data) for data in datas]
+    return _chunk_with_telemetry(
+        meta, fault, lambda: [execute(chunk_plan, data) for data in datas]
+    )
 
 
 @dataclass
@@ -217,7 +261,8 @@ def _run_chunk_shm(
     segment: shm.Segment,
     refs: List[shm.ArrayRef],
     fault: Optional[faults.FaultSpec] = None,
-) -> _ShmReply:
+    meta: Optional[dict] = None,
+) -> "_ChunkReply":
     """Worker body (shm transport): inputs and outputs via segments.
 
     Input views are read-only — ``execute`` copies what it keeps — and
@@ -225,19 +270,41 @@ def _run_chunk_shm(
     future resolves).  The reply segment is created here but ownership
     passes to the parent with the returned descriptor.
     """
-    faults.perform(fault)
-    datas, mem = shm.read(segment, refs, copy=False)
-    try:
-        outcomes = [execute(chunk_plan, data) for data in datas]
-    finally:
-        mem.close()
-    return _strip_outcomes(outcomes)
+    def body() -> _ShmReply:
+        datas, mem = shm.read(segment, refs, copy=False)
+        try:
+            outcomes = [execute(chunk_plan, data) for data in datas]
+        finally:
+            mem.close()
+        return _strip_outcomes(outcomes)
+
+    if meta is None:
+        faults.perform(fault)
+        return body()
+    return _chunk_with_telemetry(meta, fault, body)
 
 
-_ChunkReply = Union[List[CollectiveOutcome], _ShmReply]
+_ChunkReply = Union[List[CollectiveOutcome], _ShmReply, _TelemetryReply]
+
+
+def _merge_chunk_telemetry(wrapped: _TelemetryReply) -> None:
+    """Adopt a worker's chunk telemetry onto the parent timeline."""
+    if not _obs.enabled():
+        return
+    _obs.merge_events(wrapped.events, tid=wrapped.pid)
+    for event in wrapped.events:
+        if event.get("ph") == "X" and event.get("name") == "engine.chunk":
+            METRICS.observe(
+                "engine.chunk.wall_seconds",
+                float(event.get("dur", 0.0)) / 1e6,
+                worker=wrapped.pid,
+            )
 
 
 def _consume_reply(reply: _ChunkReply) -> List[CollectiveOutcome]:
+    if isinstance(reply, _TelemetryReply):
+        _merge_chunk_telemetry(reply)
+        reply = reply.reply
     if isinstance(reply, _ShmReply):
         return _restore_outcomes(reply)
     return reply
@@ -245,6 +312,8 @@ def _consume_reply(reply: _ChunkReply) -> List[CollectiveOutcome]:
 
 def _discard_reply(reply: _ChunkReply) -> None:
     """Release a reply that will never be consumed (error paths)."""
+    if isinstance(reply, _TelemetryReply):
+        reply = reply.reply
     if isinstance(reply, _ShmReply):
         shm.unlink(reply.segment.name)
 
@@ -510,6 +579,17 @@ class SweepEngine:
             raise ValueError(
                 f"got {len(specs)} specs but {len(datas)} data arrays"
             )
+        if _obs.enabled():
+            with _obs.span("engine.sweep", points=len(specs),
+                           workers=self.workers):
+                return self._sweep_impl(specs, datas)
+        return self._sweep_impl(specs, datas)
+
+    def _sweep_impl(
+        self,
+        specs: List[CollectiveSpec],
+        datas: List[np.ndarray],
+    ) -> List[CollectiveOutcome]:
         started = time.perf_counter()
         groups = self._group(specs)
         # Plan every distinct spec once, in the parent, through the
@@ -601,16 +681,22 @@ class SweepEngine:
         chunk_plan: Plan,
         chunk_datas: List[np.ndarray],
         fault: Optional[faults.FaultSpec] = None,
+        meta: Optional[dict] = None,
     ) -> Tuple[Future, Optional[shm.Segment]]:
         """Ship one chunk via shm (large) or pickle (small).
 
         Returns the future plus the input segment the parent now owns
         (``None`` on the pickle path).  An injected ``shm`` fault
         corrupts the descriptor the worker sees — never the parent's
-        own unlink handle.
+        own unlink handle.  ``meta`` (non-``None`` only while the parent
+        records telemetry) asks the worker to record and return its
+        chunk span; ``None`` keeps the worker on the untouched fast
+        path.
         """
         if not self._use_shm(chunk_datas):
-            return pool.submit(_run_chunk, chunk_plan, chunk_datas, fault), None
+            return pool.submit(
+                _run_chunk, chunk_plan, chunk_datas, fault, meta
+            ), None
         segment, refs = shm.pack(
             [np.asarray(data, dtype=np.float64) for data in chunk_datas]
         )
@@ -619,7 +705,9 @@ class SweepEngine:
             shipped = dataclasses.replace(segment, name=segment.name + "-torn")
             fault = None  # the corrupted descriptor *is* the fault
         try:
-            future = pool.submit(_run_chunk_shm, chunk_plan, shipped, refs, fault)
+            future = pool.submit(
+                _run_chunk_shm, chunk_plan, shipped, refs, fault, meta
+            )
         except BaseException:
             shm.unlink(segment.name)
             raise
@@ -698,10 +786,21 @@ class SweepEngine:
                 while queue:
                     task = queue.popleft()
                     fault, task.fault = task.fault, None
+                    meta = None
+                    if _obs.enabled():
+                        meta = {
+                            "seq": task.seq,
+                            "points": len(task.indices),
+                            "attempt": task.attempts,
+                            "spec": (
+                                f"{task.spec.kind}/{task.spec.algorithm} "
+                                f"p={task.spec.grid.size} b={task.spec.b}"
+                            ),
+                        }
                     try:
                         future, segment = self._submit_chunk(
                             pool, plans[task.spec],
-                            [datas[i] for i in task.indices], fault,
+                            [datas[i] for i in task.indices], fault, meta,
                         )
                     except BrokenProcessPool:
                         queue.appendleft(task)
@@ -743,6 +842,8 @@ class SweepEngine:
                             shm.unlink(segment.name)
                         queue.append(task)
                         self.stats.requeued_chunks += 1
+                        if _obs.enabled():
+                            _obs.instant("engine.requeue", chunk=task.seq)
                         pool_lost = True
                     else:
                         if segment is not None:
@@ -764,6 +865,10 @@ class SweepEngine:
                             del inflight[future]
                             _abandon(future, segment)
                             self.stats.timeouts += 1
+                            if _obs.enabled():
+                                _obs.instant(
+                                    "engine.timeout", chunk=task.seq
+                                )
                             self._retry_or_quarantine(
                                 task, None, queue, plans, datas, results,
                                 can_retry=True,
@@ -820,6 +925,10 @@ class SweepEngine:
         task.attempts += 1
         if can_retry and task.attempts <= self.max_retries:
             self.stats.retries += 1
+            if _obs.enabled():
+                _obs.instant(
+                    "engine.retry", chunk=task.seq, attempt=task.attempts
+                )
             if self.backoff_base > 0:
                 scale = 2 ** (task.attempts - 1)
                 jitter = 0.5 + self._retry_rng.random()
@@ -827,6 +936,8 @@ class SweepEngine:
             queue.append(task)
             return
         self.stats.quarantined += 1
+        if _obs.enabled():
+            _obs.instant("engine.quarantine", chunk=task.seq)
         self._run_task_serial(task, plans, datas, results)
 
     def _on_pool_loss(
@@ -866,8 +977,12 @@ class SweepEngine:
                 _abandon(future, segment)
                 queue.append(task)
                 self.stats.requeued_chunks += 1
+                if _obs.enabled():
+                    _obs.instant("engine.requeue", chunk=task.seq)
         inflight.clear()
         self.pool_deaths += 1
+        if _obs.enabled():
+            _obs.instant("engine.pool_loss", deaths=self.pool_deaths)
         if dead is self._pool:
             self.detach_pool()
         if dead in owned:
@@ -877,6 +992,8 @@ class SweepEngine:
         if self.pool_deaths > self.max_pool_deaths:
             self._degraded = True
             self.stats.degraded = 1
+            if _obs.enabled():
+                _obs.instant("engine.degraded")
             return None
         replacement: Optional[Executor] = None
         if self.pool_supplier is not None:
@@ -896,4 +1013,6 @@ class SweepEngine:
                 return None  # serial drain for this sweep only
             owned.append(replacement)
         self.stats.pool_replacements += 1
+        if _obs.enabled():
+            _obs.instant("engine.pool_replacement")
         return replacement

@@ -54,6 +54,7 @@ import numpy as np
 
 from ..core.api import CollectiveOutcome
 from ..core.registry import CollectiveSpec
+from ..obs import spans as _obs
 from .pool import SweepEngine, _pool_context
 from .store import TuneDB, hydrate_keys, plan_cache_keys
 
@@ -142,7 +143,12 @@ class EngineSession:
         """Hydrate the plan cache and stand the pool up; idempotent."""
         self._check_open()
         if self.db is not None and not self._hydrated:
-            self.db.hydrate_plan_cache()
+            if _obs.enabled():
+                with _obs.span("session.hydrate") as sp:
+                    loaded = self.db.hydrate_plan_cache()
+                    sp.add(plans=loaded)
+            else:
+                self.db.hydrate_plan_cache()
             self._hydrated = True
         self._ensure_pool()
         return self
@@ -179,12 +185,13 @@ class EngineSession:
             return None
         tuner_db_path = self._active_tuner_db_path()
         try:
-            return ProcessPoolExecutor(
-                max_workers=self.engine.workers,
-                mp_context=_pool_context(),
-                initializer=_session_worker_init,
-                initargs=(plan_cache_keys(), tuner_db_path),
-            )
+            with _obs.span("session.build_pool", workers=self.engine.workers):
+                return ProcessPoolExecutor(
+                    max_workers=self.engine.workers,
+                    mp_context=_pool_context(),
+                    initializer=_session_worker_init,
+                    initargs=(plan_cache_keys(), tuner_db_path),
+                )
         except OSError:
             # No pool to be had (fd/process limits); sweeps fall back
             # to the engine's serial path with identical results.

@@ -61,7 +61,19 @@ __all__ = [
     "spec_from_key",
     "plan_cache_keys",
     "hydrate_keys",
+    "lookup_counts",
 ]
+
+# Process-wide TuneDB lookup outcome counters, polled as the "tunedb"
+# source of the :data:`repro.obs.metrics.METRICS` registry.  Counting at
+# module level (not per-DB) matches how the registry absorbs the other
+# stats islands: one process, one series.
+_LOOKUPS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def lookup_counts() -> Dict[str, int]:
+    """Cumulative :meth:`TuneDB.lookup` hits/misses in this process."""
+    return dict(_LOOKUPS)
 
 #: Bump when the on-disk record layout changes; mismatching lines are
 #: treated as corrupt (skipped, counted) rather than misread.
@@ -439,8 +451,10 @@ class TuneDB:
         return iter(list(self._records.values()))
 
     def lookup(self, spec: CollectiveSpec) -> Optional[TuneRecord]:
-        """The record for ``spec``, or ``None``."""
-        return self._records.get(_key_id(spec_to_key(spec)))
+        """The record for ``spec``, or ``None`` (counted process-wide)."""
+        record = self._records.get(_key_id(spec_to_key(spec)))
+        _LOOKUPS["hits" if record is not None else "misses"] += 1
+        return record
 
     def winner(
         self, spec: CollectiveSpec, backend: Optional[str] = None

@@ -27,6 +27,7 @@ therefore :math:`O(\\text{wavelet movements})`, which is the energy term
 from __future__ import annotations
 
 import heapq
+import logging
 import os
 from collections import deque
 from dataclasses import dataclass
@@ -35,6 +36,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..model.params import CS2, MachineParams
+from ..obs import spans as _obs
+from ..obs.metrics import METRICS
 from .geometry import PORT_NAMES, Port, opposite_port
 from .ir import (
     Delay,
@@ -59,8 +62,11 @@ __all__ = [
     "FabricSimulator",
     "simulate",
     "resolve_backend",
+    "set_fallback_hook",
     "SIM_BACKENDS",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Recognised simulator backends.  ``vectorized`` falls back to
 #: ``reference`` automatically for schedules it does not cover.
@@ -294,6 +300,20 @@ class FabricSimulator:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> SimResult:
+        if not _obs.enabled():
+            return self._run()
+        with _obs.span(
+            "sim.run", backend="reference", schedule=self.schedule.name
+        ) as sp:
+            result = self._run()
+            sp.add(cycles=result.cycles)
+            _obs.counter_sample(
+                "sim.cycles", {"stepped": result.cycles, "strided": 0}
+            )
+            METRICS.inc("sim.cycles.stepped", result.cycles)
+        return result
+
+    def _run(self) -> SimResult:
         cycle = 0
         last_activity = -1  # a schedule with no work at all runs 0 cycles
         while True:
@@ -725,6 +745,42 @@ class FabricSimulator:
         raise SimulationError(f"unknown op {op!r} on PE {pe}")
 
 
+# One-time-per-reason fallback reporting: the vectorized backend's
+# silent `UnsupportedSchedule` -> reference fallback is correct but was
+# invisible; now every fallback increments a labeled counter (when
+# telemetry records) and warns once per distinct reason.  Tests (or
+# embedding applications) can install a hook to capture every event.
+_FALLBACK_STATE: Dict[str, object] = {"hook": None, "warned": set()}
+
+
+def set_fallback_hook(hook: Optional[Callable[[Schedule, str], None]]):
+    """Install ``hook(schedule, reason)`` for backend fallbacks.
+
+    The hook replaces the once-per-reason log warning (it is called on
+    *every* fallback); pass ``None`` to restore the default.  Returns
+    the previous hook.
+    """
+    previous = _FALLBACK_STATE["hook"]
+    _FALLBACK_STATE["hook"] = hook
+    return previous
+
+
+def _note_fallback(schedule: Schedule, reason: str) -> None:
+    if _obs.enabled():
+        METRICS.inc("sim.fallback", reason=reason)
+        _obs.instant("sim.fallback", schedule=schedule.name, reason=reason)
+    hook = _FALLBACK_STATE["hook"]
+    if hook is not None:
+        hook(schedule, reason)
+    elif reason not in _FALLBACK_STATE["warned"]:
+        _FALLBACK_STATE["warned"].add(reason)
+        logger.warning(
+            "vectorized backend refused schedule %r: %s; falling back to "
+            "the reference simulator (logged once per reason)",
+            schedule.name, reason,
+        )
+
+
 def resolve_backend(backend: str | None = None) -> str:
     """Resolve the simulator backend: explicit arg > ``REPRO_SIM_BACKEND``
     env var > default ``vectorized``."""
@@ -760,8 +816,8 @@ def simulate(
             sim = VectorizedSimulator(
                 schedule, inputs=inputs, params=params, **kwargs
             )
-        except UnsupportedSchedule:
-            pass
+        except UnsupportedSchedule as exc:
+            _note_fallback(schedule, str(exc))
         else:
             result = sim.run()
             result.backend = "vectorized"

@@ -27,11 +27,14 @@ stride path (per-cycle core only), for debugging.
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..model.params import CS2, MachineParams
+from ..obs import spans as _obs
+from ..obs.metrics import METRICS
 from .geometry import PORT_NAMES, Port
 from .ir import (
     K_DELAY,
@@ -93,6 +96,9 @@ _PORTS5 = np.arange(5, dtype=np.int16)
 
 #: minimum profitable stride window; shorter windows run per-cycle.
 _MIN_STRIDE = 4
+
+#: phase wall-time slots when telemetry records (index into _phase_secs).
+_PHASE_NAMES = ("drain", "deliver", "route", "procs", "stride")
 
 
 class VectorizedSimulator:
@@ -231,6 +237,30 @@ class VectorizedSimulator:
         self._n_proc = 0
         # Views into sigbuf[flip], re-pointed at the top of each cycle.
         self._point_sigs()
+
+        # Telemetry: decided once at construction so the per-cycle loop
+        # never re-checks.  When recording, the four phase methods (plus
+        # the stride detector) are shadowed by timing wrappers on the
+        # instance; when disabled the loop is untouched — zero cost.
+        self._obs = _obs.enabled()
+        self._phase_secs = [0.0] * len(_PHASE_NAMES)
+        if self._obs:
+            self._drain = self._timed_phase(self._drain, 0)
+            self._deliver = self._timed_phase(self._deliver, 1)
+            self._route = self._timed_phase(self._route, 2)
+            self._procs = self._timed_phase(self._procs, 3)
+            self._maybe_stride = self._timed_phase(self._maybe_stride, 4)
+
+    def _timed_phase(self, fn, index: int):
+        secs = self._phase_secs
+
+        def timed(*args):
+            t0 = time.perf_counter()
+            try:
+                return fn(*args)
+            finally:
+                secs[index] += time.perf_counter() - t0
+        return timed
 
     def _point_sigs(self) -> None:
         cur = self.sigbuf[self._flip]
@@ -751,6 +781,30 @@ class VectorizedSimulator:
     # -- main loop --------------------------------------------------------------
 
     def run(self) -> SimResult:
+        if not self._obs:
+            return self._run()
+        with _obs.span(
+            "sim.run", backend="vectorized", schedule=self.schedule.name
+        ) as sp:
+            result = self._run()
+            strided = int(self.stride_cycles)
+            stepped = max(int(result.cycles) - strided, 0)
+            sp.add(cycles=result.cycles, stride_windows=self.stride_windows,
+                   stride_cycles=strided)
+            METRICS.inc("sim.cycles.strided", strided)
+            METRICS.inc("sim.cycles.stepped", stepped)
+            _obs.counter_sample(
+                "sim.cycles", {"stepped": stepped, "strided": strided}
+            )
+            _obs.counter_sample("sim.phase.ms", {
+                name: secs * 1e3
+                for name, secs in zip(_PHASE_NAMES, self._phase_secs)
+            })
+            for name, secs in zip(_PHASE_NAMES, self._phase_secs):
+                METRICS.inc("sim.phase.seconds", secs, phase=name)
+        return result
+
+    def _run(self) -> SimResult:
         cycle = 0
         last_activity = -1
         while True:
@@ -841,6 +895,8 @@ class VectorizedSimulator:
         if k >= _MIN_STRIDE and self._stride_apply(cycle, k):
             self.stride_windows += 1
             self.stride_cycles += k
+            if self._obs:
+                METRICS.observe("sim.stride.window_cycles", k)
             self._sig_valid = False
             return k
         # Same signature will keep matching while the window stays too

@@ -1,0 +1,180 @@
+"""Telemetry exporters: Chrome-trace/Perfetto ``trace.json`` + JSONL.
+
+Two knobs, one context manager:
+
+* ``REPRO_TRACE=<path>`` — on process exit, write every collected span/
+  instant/counter event as a Chrome trace (load it at
+  https://ui.perfetto.dev or ``chrome://tracing``);
+* ``REPRO_METRICS=<path>`` — on process exit, write the
+  :data:`~repro.obs.metrics.METRICS` snapshot as JSON lines;
+* :func:`use_telemetry` — the programmatic equivalent, scoped to a
+  block: arms recording, collects into a fresh buffer, writes on exit.
+
+Trace layout follows the engine's process model: ``pid`` is the host
+process, each pool worker appears as its own ``tid`` track (the worker's
+pid, re-tagged by :func:`repro.obs.spans.merge_events`), spans are ``X``
+events and counters are ``C`` events — exactly what the acceptance
+timeline ("which worker ran which chunk, where did the retry go") needs.
+
+Env arming registers exactly one atexit writer, only in the process that
+armed (pid-guarded, main process only), so forked/spawned pool workers
+inheriting the environment never clobber the parent's files.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import multiprocessing
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from . import spans
+from .metrics import METRICS, MetricsRegistry
+
+__all__ = [
+    "chrome_trace",
+    "use_telemetry",
+    "write_metrics",
+    "write_trace",
+]
+
+_ARMED: Dict[str, Any] = {"pid": None}
+
+
+def chrome_trace(
+    events: Sequence[Dict[str, Any]],
+    truncated: int = 0,
+) -> Dict[str, Any]:
+    """Events -> a Chrome/Perfetto ``trace.json`` document.
+
+    Timestamps are rebased to the earliest event so the timeline starts
+    near zero, and process/thread metadata names the host and each
+    worker track.
+    """
+    host = os.getpid()
+    base = min((e["ts"] for e in events), default=0.0)
+    out: List[Dict[str, Any]] = []
+    tids = set()
+    for event in events:
+        shifted = dict(event)
+        shifted["ts"] = event["ts"] - base
+        out.append(shifted)
+        tids.add((shifted.get("pid", host), shifted.get("tid", 0)))
+    meta: List[Dict[str, Any]] = [{
+        "ph": "M", "name": "process_name", "pid": host, "tid": 0,
+        "args": {"name": f"repro host (pid {host})"},
+    }]
+    host_tid = threading.get_ident()
+    for pid, tid in sorted(tids):
+        if tid == host_tid:
+            label = "host"
+        elif isinstance(tid, int) and tid < 1 << 22:  # pid-sized: a worker
+            label = f"worker {tid}"
+        else:
+            label = f"thread {tid}"
+        meta.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        })
+    doc: Dict[str, Any] = {
+        "traceEvents": meta + out,
+        "displayTimeUnit": "ms",
+    }
+    if truncated:
+        doc["otherData"] = {"truncated_events": truncated}
+    return doc
+
+
+def write_trace(
+    path: str,
+    collector: Optional[spans.SpanCollector] = None,
+) -> str:
+    """Serialize a collector (default: the active one) to ``path``."""
+    src = collector if collector is not None else spans.collector()
+    doc = chrome_trace(src.events, truncated=src.truncated)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return path
+
+
+def write_metrics(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Write one ``{"series": ..., "value": ...}`` JSON line per series."""
+    reg = registry if registry is not None else METRICS
+    snapshot = reg.snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"meta": {"pid": os.getpid(),
+                                      "series": len(snapshot)}}) + "\n")
+        for key in sorted(snapshot):
+            fh.write(json.dumps({"series": key, "value": snapshot[key]})
+                     + "\n")
+    return path
+
+
+def arm_from_env() -> None:
+    """Enable recording per ``REPRO_TRACE``/``REPRO_METRICS``.
+
+    Called once, lazily, from :func:`repro.obs.spans.enabled`.  Every
+    process with the env set records (workers ship their spans back in
+    chunk replies); only the main process registers the atexit file
+    writer, and that writer re-checks the pid so a child forked *after*
+    arming still cannot write the parent's files.
+    """
+    trace_path = os.environ.get(spans.ENV_TRACE, "").strip() or None
+    metrics_path = os.environ.get(spans.ENV_METRICS, "").strip() or None
+    if trace_path is None and metrics_path is None:
+        return
+    spans.set_enabled(True)
+    if multiprocessing.current_process().name != "MainProcess":
+        return
+    if _ARMED["pid"] == os.getpid():
+        return
+    _ARMED["pid"] = os.getpid()
+    armed_pid = os.getpid()
+
+    def _write_at_exit() -> None:
+        if os.getpid() != armed_pid:  # forked child inheriting atexit
+            return
+        try:
+            if trace_path:
+                write_trace(trace_path)
+            if metrics_path:
+                write_metrics(metrics_path)
+        except OSError:  # pragma: no cover - unwritable path at shutdown
+            pass
+
+    atexit.register(_write_at_exit)
+
+
+@contextmanager
+def use_telemetry(
+    trace: Optional[str] = None,
+    metrics: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[spans.SpanCollector]:
+    """Record telemetry for a block; write the files on exit.
+
+    Yields the block's :class:`~repro.obs.spans.SpanCollector` (useful
+    for in-process inspection without touching disk — both paths are
+    optional).  Recording state and the previous collector are restored
+    on exit, even on error; files are written with whatever was
+    collected up to that point.
+    """
+    previous = spans.set_enabled(True)
+    try:
+        with spans.collect() as collected:
+            try:
+                yield collected
+            finally:
+                if trace is not None:
+                    write_trace(trace, collector=collected)
+                if metrics is not None:
+                    write_metrics(metrics, registry=registry)
+    finally:
+        spans.set_enabled(previous)

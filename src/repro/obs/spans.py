@@ -1,0 +1,254 @@
+"""Nestable timing spans with thread/process-aware context.
+
+The span layer is the event-producing half of :mod:`repro.obs`: call
+sites wrap work in ``with span("plan"):`` and the active collector
+accumulates Chrome-trace-shaped event dicts (``ph="X"`` complete spans,
+``ph="i"`` instants, ``ph="C"`` counter samples) that
+:mod:`repro.obs.export` serializes.  Three properties the rest of the
+repo depends on:
+
+* **zero-cost when disabled** — :func:`enabled` is a dict lookup; a
+  disabled :func:`span` returns one shared no-op context manager and
+  records nothing.  Hot paths additionally guard at the call site
+  (``if enabled():``) so even the no-op allocation is skipped.
+* **process-aware** — events carry ``pid``/``tid`` from the recording
+  process; worker-side events are re-tagged on the parent via
+  :func:`merge_events` so a pool worker shows up as its own track
+  (tid = worker pid) under the host process in Perfetto.
+* **cross-process comparable timestamps** — ``time.perf_counter`` is
+  CLOCK_MONOTONIC on Linux, shared by forked/spawned children of one
+  boot, so parent spans and merged worker spans land on one timeline.
+
+Enablement is armed lazily from the ``REPRO_TRACE`` / ``REPRO_METRICS``
+environment variables on the first :func:`enabled` check (mirroring
+:mod:`repro.engine.faults`), or programmatically via
+:func:`set_enabled` / :func:`repro.obs.export.use_telemetry`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "ENV_TRACE",
+    "ENV_METRICS",
+    "SpanCollector",
+    "collect",
+    "collector",
+    "counter_sample",
+    "enabled",
+    "instant",
+    "merge_events",
+    "reset",
+    "set_enabled",
+    "span",
+]
+
+ENV_TRACE = "REPRO_TRACE"
+ENV_METRICS = "REPRO_METRICS"
+
+#: Per-collector event cap — bounds memory on long telemetry-on runs
+#: (full test-suite sweeps); the export layer reports truncation.
+MAX_EVENTS = 200_000
+
+
+class SpanCollector:
+    """An append-only buffer of trace events (plain dicts)."""
+
+    __slots__ = ("events", "max_events", "truncated")
+
+    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.max_events = max_events
+        self.truncated = 0
+
+    def add(self, event: Dict[str, Any]) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.truncated += 1
+
+
+# Enablement state + the active collector.  A dict (not bare globals) so
+# forked workers and tests can swap state without import-order games.
+_STATE: Dict[str, Any] = {
+    "enabled": False,
+    "env_checked": False,
+    "collector": SpanCollector(),
+}
+
+
+def enabled() -> bool:
+    """Is telemetry recording right now?  (The zero-cost guard.)"""
+    if _STATE["enabled"]:
+        return True
+    if not _STATE["env_checked"]:
+        _STATE["env_checked"] = True
+        if os.environ.get(ENV_TRACE) or os.environ.get(ENV_METRICS):
+            from . import export
+
+            export.arm_from_env()
+    return _STATE["enabled"]
+
+
+def set_enabled(flag: bool) -> bool:
+    """Turn recording on/off; returns the previous value."""
+    previous = bool(_STATE["enabled"])
+    _STATE["enabled"] = bool(flag)
+    _STATE["env_checked"] = True
+    return previous
+
+
+def collector() -> SpanCollector:
+    """The collector events currently land in."""
+    return _STATE["collector"]
+
+
+@contextmanager
+def collect(
+    fresh: Optional[SpanCollector] = None,
+) -> Iterator[SpanCollector]:
+    """Route events into a fresh collector for the block; restore after.
+
+    Used by pool workers (so a forked child never re-ships events it
+    inherited from the parent) and by ``use_telemetry`` (so one run's
+    trace holds exactly that run's events).
+    """
+    previous = _STATE["collector"]
+    current = fresh if fresh is not None else SpanCollector()
+    _STATE["collector"] = current
+    try:
+        yield current
+    finally:
+        _STATE["collector"] = previous
+
+
+def reset() -> None:
+    """Back to boot state: disabled, env unchecked, empty collector."""
+    _STATE["enabled"] = False
+    _STATE["env_checked"] = False
+    _STATE["collector"] = SpanCollector()
+
+
+def _now_us() -> float:
+    return time.perf_counter() * 1e6
+
+
+class _Span:
+    """A live timing span; records itself on ``__exit__`` even on error."""
+
+    __slots__ = ("name", "args", "_t0")
+
+    def __init__(self, name: str, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.args = args
+        self._t0 = 0.0
+
+    def add(self, **args: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. cycle counts)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = _now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        now = _now_us()
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "name": self.name,
+            "ts": self._t0,
+            "dur": now - self._t0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if self.args:
+            event["args"] = self.args
+        _STATE["collector"].add(event)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def add(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **args: Any):
+    """A context manager timing the block as one ``X`` event.
+
+    Spans nest naturally: Chrome/Perfetto reconstruct the hierarchy from
+    time containment per (pid, tid), so no explicit parent bookkeeping
+    is needed.  Disabled telemetry returns a shared no-op.
+    """
+    if not _STATE["enabled"] and not enabled():
+        return _NOOP
+    return _Span(name, args)
+
+
+def instant(name: str, **args: Any) -> None:
+    """Record a point-in-time marker (retry fired, pool lost, ...)."""
+    if not enabled():
+        return
+    event: Dict[str, Any] = {
+        "ph": "i",
+        "name": name,
+        "ts": _now_us(),
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "s": "t",  # thread-scoped instant
+    }
+    if args:
+        event["args"] = args
+    _STATE["collector"].add(event)
+
+
+def counter_sample(name: str, values: Dict[str, float]) -> None:
+    """Record a Chrome ``C`` counter sample (stacked series in Perfetto)."""
+    if not enabled():
+        return
+    _STATE["collector"].add({
+        "ph": "C",
+        "name": name,
+        "ts": _now_us(),
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "args": dict(values),
+    })
+
+
+def merge_events(
+    events: Sequence[Dict[str, Any]], tid: Optional[int] = None
+) -> None:
+    """Adopt events recorded in another process into this collector.
+
+    ``tid`` (conventionally the worker's pid) overrides the events'
+    pid/tid so each worker renders as its own named track under the
+    host process in the trace viewer.
+    """
+    if not enabled() or not events:
+        return
+    host = os.getpid()
+    current = _STATE["collector"]
+    for event in events:
+        merged = dict(event)
+        merged["pid"] = host
+        if tid is not None:
+            merged["tid"] = tid
+        current.add(merged)

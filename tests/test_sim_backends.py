@@ -332,3 +332,24 @@ def test_unsupported_schedule_falls_back():
         backend="vectorized", combine=odd,
     )
     assert result.backend == "reference"
+
+
+def test_tracer_attached_falls_back_to_reference():
+    # A tracer needs the reference simulator's per-cycle event hooks, so
+    # a tracer-attached run must refuse the vectorized backend and tag
+    # its result as served by the oracle.
+    from repro.fabric.trace import Tracer
+
+    s = build_schedule("reduce", Grid(1, 4), "tree", 4)
+    inputs = _random_inputs(s, 3)
+    tracer = Tracer()
+    with pytest.raises(UnsupportedSchedule, match="tracer"):
+        VectorizedSimulator(
+            s, inputs={k: v.copy() for k, v in inputs.items()}, tracer=tracer
+        )
+    result = simulate(
+        s, inputs={k: v.copy() for k, v in inputs.items()},
+        backend="vectorized", tracer=tracer,
+    )
+    assert result.backend == "reference"
+    assert tracer.events  # the fallback run actually traced
