@@ -1,0 +1,97 @@
+"""Planner-as-a-service tour: boot, plan, coalesce, verify, inspect.
+
+Boots a planner service on an ephemeral port *inside this process*
+(``serve_in_thread`` — the same server ``python -m repro.service``
+runs), then walks the client surface:
+
+1. ``/plan`` twice — the first request plans, the second is a cache hit;
+2. a 16-thread herd of identical ``/plan`` requests — single-flight
+   coalescing means the planner still runs only once (the
+   ``service.coalesced`` counter shows who shared the flight);
+3. a seeded ``/sweep`` — and a check that the service's result is
+   bit-identical to executing the very same spec through the library;
+4. ``/stats`` — the request counters and latency histograms the
+   service kept while we did all that.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.core.api import execute, plan
+from repro.core.cache import PLAN_CACHE
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    SpecRequest,
+    SweepItem,
+    seeded_input,
+    serve_in_thread,
+)
+
+
+def main() -> None:
+    config = ServiceConfig(port=0, db="-", sweep_workers=1, max_inflight=32)
+    with serve_in_thread(config=config) as (_, host, port):
+        client = ServiceClient(host, port)
+        print(f"service up at http://{host}:{port}")
+
+        # 1. plan: miss, then cached hit ---------------------------------
+        spec = SpecRequest(kind="reduce", rows=1, cols=32, b=128)
+        first = client.plan(spec)
+        second = client.plan(spec)
+        print(f"planned {spec.kind} on 1x{spec.cols}, B={spec.b}: "
+              f"{first.algorithm} ({first.predicted_cycles:.0f} cycles "
+              f"predicted)")
+        print(f"  first request cached={first.cached}, "
+              f"second cached={second.cached}")
+
+        # 2. a herd of identical requests coalesces ----------------------
+        herd_spec = SpecRequest(kind="allreduce", rows=1, cols=32, b=512)
+        PLAN_CACHE.clear()
+        barrier = threading.Barrier(16)
+        responses = []
+        lock = threading.Lock()
+
+        def rush():
+            c = ServiceClient(host, port, timeout=30)
+            barrier.wait()
+            response = c.plan(herd_spec)
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=rush) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalesced = sum(1 for r in responses if r.coalesced)
+        fresh = sum(1 for r in responses if not r.cached and not r.coalesced)
+        print(f"herd of {len(responses)} identical plan requests: "
+              f"{fresh} planned, {coalesced} coalesced onto its flight, "
+              f"{len(responses) - fresh - coalesced} cache hits")
+
+        # 3. sweep through the service == execute in-process -------------
+        swept = client.sweep([SweepItem(spec=spec, seed=7)],
+                             return_results=True)
+        outcome = swept.outcomes[0]
+        local = execute(plan(spec.to_spec()), seeded_input(spec.to_spec(), 7))
+        identical = (
+            outcome.measured_cycles == local.measured_cycles
+            and np.array_equal(outcome.result_array(),
+                               np.asarray(local.result))
+        )
+        print(f"sweep via service: {outcome.measured_cycles} cycles on "
+              f"{outcome.backend}; bit-identical to library: {identical}")
+
+        # 4. what the service observed -----------------------------------
+        stats = client.stats()
+        print("service counters:")
+        for key in sorted(stats.metrics):
+            if key.startswith("service.requests"):
+                print(f"  {key} = {stats.metrics[key]:.0f}")
+    print("service shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,17 @@ The package provides:
 * :mod:`repro.timing` -- the clock-synchronization measurement
   methodology of Section 8.3;
 * :mod:`repro.bench` -- drivers regenerating every figure of Section 8
-  (all measured sweep points are batched through the sweep engine).
+  (all measured sweep points are batched through the sweep engine);
+* :mod:`repro.service` -- planner-as-a-service: an asyncio HTTP/JSON
+  front end (``python -m repro.service``) with single-flight coalescing
+  of identical concurrent plan requests, serving results bit-identical
+  to the library path.
+
+The stable public surface is re-exported here: ``plan`` / ``execute`` /
+``run_many`` / ``simulate`` for the plan-execute pipeline, ``sweep`` /
+``tune`` / ``use_session`` for the parallel engine, ``use_telemetry``
+for observability, and the :class:`CollectiveSpec` vocabulary they all
+share (see CONTRIBUTING for the stability table).
 
 Quickstart::
 
@@ -56,10 +66,12 @@ from .core import (
     reduce,
     run_many,
 )
-from .fabric import Grid, row_grid
+from .engine import sweep, tune, use_session
+from .fabric import Grid, row_grid, simulate
 from .model import CS2, MachineParams
+from .obs import use_telemetry
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "autogen",
@@ -76,6 +88,11 @@ __all__ = [
     "plan",
     "execute",
     "run_many",
+    "simulate",
+    "sweep",
+    "tune",
+    "use_session",
+    "use_telemetry",
     "cache_info",
     "PLAN_CACHE",
     "allreduce",

@@ -30,7 +30,6 @@ substitution.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -142,15 +141,9 @@ def _sweep_workers(workers: Optional[int]) -> int:
     """
     if workers is not None:
         return workers
-    env = os.environ.get("REPRO_SWEEP_WORKERS", "").strip()
-    if not env:
-        return 1
-    try:
-        return max(1, int(env))
-    except ValueError:
-        raise ValueError(
-            f"REPRO_SWEEP_WORKERS must be an integer, got {env!r}"
-        ) from None
+    from ..core import config as _config
+
+    return max(1, _config.env_int("REPRO_SWEEP_WORKERS", 1))
 
 
 #: One warm session shared by every parallel figure sweep in this

@@ -18,6 +18,7 @@ independent caches can be instantiated for isolation (tests do).
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, Dict, Optional
@@ -27,6 +28,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .registry import CollectiveSpec
 
 __all__ = ["PlanCache", "PLAN_CACHE"]
+
+
+class _Flight:
+    """One in-progress planning pass other threads can wait on.
+
+    The planned result travels *on the flight itself* rather than through
+    a cache re-check: a bounded cache may evict the plan between the
+    planner's ``store`` and a waiter waking up, and re-planning in that
+    window would break the "planned exactly once" contract.  ``plan`` is
+    written before ``event.set()``, so the Event's happens-before edge
+    publishes it safely; ``failed`` marks a planner that raised (waiters
+    then retry, and one of them becomes the new planner).
+    """
+
+    __slots__ = ("event", "plan", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.plan: Optional["Plan"] = None
+        self.failed = False
 
 
 class PlanCache:
@@ -46,7 +67,12 @@ class PlanCache:
         self.maxsize = maxsize
         self._plans: "OrderedDict[CollectiveSpec, Plan]" = OrderedDict()
         self._lock = threading.Lock()
-        self._pending: Dict["CollectiveSpec", threading.Event] = {}
+        self._pending: Dict["CollectiveSpec", _Flight] = {}
+        # Async flights are keyed per event loop (futures belong to
+        # their loop); only the loop's own thread touches its dict.
+        self._async_flights: Dict[
+            "asyncio.AbstractEventLoop", Dict["CollectiveSpec", "asyncio.Future"]
+        ] = {}
         self.hits = 0
         self.misses = 0
 
@@ -77,8 +103,16 @@ class PlanCache:
 
         Single-flight: concurrent callers missing on the same spec block
         until the first caller's ``planner`` finishes, then return its
-        cached result (counted as hits).  If the builder raises, one of
-        the waiters takes over and retries.
+        result (counted as hits) directly off the in-flight record — so
+        the contract holds even if a bounded cache evicts the plan
+        before a waiter wakes.  If the builder raises, one of the
+        waiters takes over and retries.
+
+        This call *blocks* while it waits; never run it on an asyncio
+        event-loop thread (it would freeze the loop, and — if the
+        planner itself needed a loop callback — deadlock).  Async
+        callers use :meth:`get_or_plan_async`, which coalesces on the
+        loop without blocking it.
         """
         while True:
             with self._lock:
@@ -87,27 +121,103 @@ class PlanCache:
                     self._plans.move_to_end(spec)
                     self.hits += 1
                     return plan
-                event = self._pending.get(spec)
-                if event is None:
-                    event = threading.Event()
-                    self._pending[spec] = event
+                flight = self._pending.get(spec)
+                if flight is None:
+                    flight = _Flight()
+                    self._pending[spec] = flight
                     self.misses += 1
                     break
-            # Another thread is already planning this spec; wait for it
-            # and re-check (it may have failed, making us the planner).
-            event.wait()
+            # Another thread is already planning this spec; wait for it.
+            flight.event.wait()
+            if not flight.failed:
+                with self._lock:
+                    self.hits += 1
+                return flight.plan
+            # The planner failed; loop and maybe become the new planner.
         try:
             plan = planner(spec)
         except BaseException:
+            flight.failed = True
             with self._lock:
                 self._pending.pop(spec, None)
-            event.set()
+            flight.event.set()
             raise
+        flight.plan = plan
         self.store(spec, plan)
         with self._lock:
             self._pending.pop(spec, None)
-        event.set()
+        flight.event.set()
         return plan
+
+    def async_inflight(self, spec: "CollectiveSpec") -> bool:
+        """Is an async planning flight for ``spec`` running on this loop?
+
+        Must be called from a running event loop.  Because flights are
+        loop-local and only the loop thread mutates them, checking this
+        immediately before :meth:`get_or_plan_async` (with no ``await``
+        in between) race-freely predicts whether that call will coalesce
+        onto an existing flight — how the service counts coalesced
+        requests.
+        """
+        loop = asyncio.get_running_loop()
+        flights = self._async_flights.get(loop)
+        return bool(flights) and spec in flights
+
+    async def get_or_plan_async(
+        self,
+        spec: "CollectiveSpec",
+        planner: Callable[["CollectiveSpec"], "Plan"],
+        executor=None,
+    ) -> "Plan":
+        """Async single-flight: :meth:`get_or_plan` without blocking the loop.
+
+        Cache hits return immediately on the loop thread (microseconds,
+        no executor round-trip).  On a miss, the *first* caller submits
+        one ``get_or_plan`` job to ``executor`` (``None`` = the loop's
+        default) and every concurrent identical request awaits that same
+        future — N in-flight identical specs cost exactly one executor
+        slot and one planner invocation.  That coalescing is what makes
+        a bounded executor safe: waiters never occupy a thread, so 32
+        concurrent requests through a 1-thread executor cannot deadlock
+        the way 32 blocking ``event.wait()`` calls would.
+
+        The executor job still runs the thread-keyed single-flight, so
+        async callers, plain threads and other loops planning the same
+        spec concurrently also collapse to one planner invocation.
+        """
+        plan = self._peek(spec)
+        if plan is not None:
+            return plan
+        loop = asyncio.get_running_loop()
+        flights = self._async_flights.setdefault(loop, {})
+        future = flights.get(spec)
+        if future is None:
+            future = loop.run_in_executor(
+                executor, self.get_or_plan, spec, planner
+            )
+            flights[spec] = future
+
+            def _retire(_done, loop=loop, spec=spec):
+                flights = self._async_flights.get(loop)
+                if flights is not None:
+                    flights.pop(spec, None)
+                    if not flights:
+                        self._async_flights.pop(loop, None)
+
+            future.add_done_callback(_retire)
+        return await asyncio.shield(future)
+
+    def _peek(self, spec: "CollectiveSpec") -> Optional["Plan"]:
+        """The async fast path: a present plan counts as a hit, but an
+        absent one is *not* counted as a miss — the executor-side
+        ``get_or_plan`` counts exactly one miss per planning pass, so
+        counting here too would book N misses for N coalesced callers."""
+        with self._lock:
+            plan = self._plans.get(spec)
+            if plan is not None:
+                self._plans.move_to_end(spec)
+                self.hits += 1
+            return plan
 
     def store(self, spec: "CollectiveSpec", plan: "Plan") -> None:
         """Insert ``plan`` under ``spec``, evicting LRU past ``maxsize``."""

@@ -230,7 +230,9 @@ def active() -> Optional[FaultInjector]:
     """The installed injector, lazily created from ``REPRO_FAULTS``."""
     if _STATE["injector"] is None and not _STATE["env_checked"]:
         _STATE["env_checked"] = True
-        text = os.environ.get(ENV_VAR, "").strip()
+        from ..core import config as _config
+
+        text = _config.env_str(ENV_VAR)
         if text:
             _STATE["injector"] = FaultInjector(FaultPlan.parse(text))
     return _STATE["injector"]  # type: ignore[return-value]

@@ -123,15 +123,14 @@ def _pool_context():
 
 
 def _env_number(name: str, default, convert):
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        return convert(raw)
-    except ValueError:
-        raise ValueError(
-            f"{name} must be a number, got {raw!r}"
-        ) from None
+    """Engine knobs parse through the central registry
+    (:mod:`repro.core.config`), keeping the historical semantics: empty
+    means default, unparsable raises naming the variable.  Imported
+    lazily so ``python -m repro.core.config`` runs the registry module
+    exactly once."""
+    from ..core import config as _config
+
+    return _config.env_number(name, default, convert)
 
 
 @dataclass

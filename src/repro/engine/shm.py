@@ -79,16 +79,12 @@ def resolve_threshold(threshold: Optional[int]) -> Optional[int]:
     if not available():
         return None
     if threshold is None:
-        env = os.environ.get("REPRO_SHM_THRESHOLD", "").strip()
-        if not env:
-            return DEFAULT_THRESHOLD_BYTES
-        try:
-            threshold = int(env)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_SHM_THRESHOLD must be an integer byte count, "
-                f"got {env!r}"
-            ) from None
+        from ..core import config as _config
+
+        threshold = _config.env_int(
+            "REPRO_SHM_THRESHOLD", DEFAULT_THRESHOLD_BYTES,
+            what="an integer byte count",
+        )
     return None if threshold < 0 else int(threshold)
 
 

@@ -82,9 +82,11 @@ SCHEMA_VERSION = 1
 
 def default_db_path() -> pathlib.Path:
     """Default store location: ``$REPRO_CACHE_DIR`` or ``~/.cache``."""
-    root = os.environ.get("REPRO_CACHE_DIR")
-    if root is None:
-        root = os.path.join(os.path.expanduser("~"), ".cache", "repro-wse")
+    from ..core import config as _config
+
+    root = _config.env_str("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-wse"
+    )
     return pathlib.Path(root) / "tune_db.jsonl"
 
 

@@ -785,7 +785,9 @@ def resolve_backend(backend: str | None = None) -> str:
     """Resolve the simulator backend: explicit arg > ``REPRO_SIM_BACKEND``
     env var > default ``vectorized``."""
     if backend is None:
-        backend = os.environ.get("REPRO_SIM_BACKEND", "").strip() or "vectorized"
+        from ..core import config as _config
+
+        backend = _config.env_str("REPRO_SIM_BACKEND", "vectorized")
     if backend not in SIM_BACKENDS:
         raise ValueError(
             f"unknown simulator backend {backend!r} (expected one of {SIM_BACKENDS})"

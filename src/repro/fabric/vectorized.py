@@ -26,7 +26,6 @@ stride path (per-cycle core only), for debugging.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Callable, Dict, Optional
 
@@ -86,7 +85,9 @@ def register_combine(fn: Callable[[float, float], float], ufunc: np.ufunc) -> No
 
 
 def stride_enabled() -> bool:
-    return os.environ.get("REPRO_SIM_STRIDE", "1") != "0"
+    from ..core import config as _config
+
+    return _config.env_flag("REPRO_SIM_STRIDE", True)
 
 
 _LINK4 = np.arange(1, 5)

@@ -126,8 +126,10 @@ def arm_from_env() -> None:
     writer, and that writer re-checks the pid so a child forked *after*
     arming still cannot write the parent's files.
     """
-    trace_path = os.environ.get(spans.ENV_TRACE, "").strip() or None
-    metrics_path = os.environ.get(spans.ENV_METRICS, "").strip() or None
+    from ..core import config as _config
+
+    trace_path = _config.env_str(spans.ENV_TRACE) or None
+    metrics_path = _config.env_str(spans.ENV_METRICS) or None
     if trace_path is None and metrics_path is None:
         return
     spans.set_enabled(True)

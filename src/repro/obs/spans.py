@@ -88,7 +88,9 @@ def enabled() -> bool:
         return True
     if not _STATE["env_checked"]:
         _STATE["env_checked"] = True
-        if os.environ.get(ENV_TRACE) or os.environ.get(ENV_METRICS):
+        from ..core import config as _config
+
+        if _config.env_str(ENV_TRACE) or _config.env_str(ENV_METRICS):
             from . import export
 
             export.arm_from_env()

@@ -1,0 +1,49 @@
+"""Planner-as-a-service: HTTP/JSON front end over the repro library.
+
+Boot a server (``python -m repro.service``), talk to it
+(:class:`~repro.service.client.ServiceClient`), or embed one in-process
+(:func:`~repro.service.app.serve_in_thread`).  The wire vocabulary
+lives in :mod:`repro.service.schemas`; results are bit-identical to
+calling the library directly.
+"""
+
+from .app import PlannerService, ServiceConfig, serve_in_thread
+from .client import ServiceClient, ServiceError
+from .schemas import (
+    ErrorResponse,
+    HealthResponse,
+    PlanResponse,
+    SpecRequest,
+    StatsResponse,
+    SweepItem,
+    SweepOutcome,
+    SweepRequest,
+    SweepResponse,
+    TuneOutcome,
+    TuneRequest,
+    TuneResponse,
+    ValidationError,
+    seeded_input,
+)
+
+__all__ = [
+    "PlannerService",
+    "ServiceConfig",
+    "serve_in_thread",
+    "ServiceClient",
+    "ServiceError",
+    "SpecRequest",
+    "PlanResponse",
+    "SweepItem",
+    "SweepRequest",
+    "SweepOutcome",
+    "SweepResponse",
+    "TuneRequest",
+    "TuneOutcome",
+    "TuneResponse",
+    "StatsResponse",
+    "HealthResponse",
+    "ErrorResponse",
+    "ValidationError",
+    "seeded_input",
+]

@@ -1,0 +1,82 @@
+"""``python -m repro.service`` — boot the planner service and serve.
+
+Prints one machine-parseable ready line to stdout once the listener is
+bound::
+
+    repro.service ready host=127.0.0.1 port=8077 pid=12345
+
+then serves until SIGINT/SIGTERM.  Flags override the ``REPRO_SERVICE_*``
+environment knobs (``python -m repro.core.config`` lists them all);
+``--port 0`` binds an ephemeral port, reported on the ready line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import os
+import signal
+import sys
+
+from .app import PlannerService, ServiceConfig
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve the wafer-scale collective planner over HTTP/JSON.",
+    )
+    parser.add_argument("--host", help="bind address (REPRO_SERVICE_HOST)")
+    parser.add_argument("--port", type=int,
+                        help="bind port, 0 for ephemeral (REPRO_SERVICE_PORT)")
+    parser.add_argument("--workers", type=int,
+                        help="executor threads (REPRO_SERVICE_WORKERS)")
+    parser.add_argument("--sweep-workers", type=int, dest="sweep_workers",
+                        help="engine pool size (REPRO_SERVICE_SWEEP_WORKERS)")
+    parser.add_argument("--db",
+                        help="TuneDB path for warm start, '-' disables "
+                             "(REPRO_SERVICE_DB)")
+    return parser.parse_args(argv)
+
+
+async def _serve(service: PlannerService, args: argparse.Namespace) -> None:
+    host, port = await service.start(host=args.host, port=args.port)
+    print(f"repro.service ready host={host} port={port} pid={os.getpid()}",
+          flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop.set)
+    serving = asyncio.ensure_future(service.serve_forever())
+    waiter = asyncio.ensure_future(stop.wait())
+    try:
+        await asyncio.wait({serving, waiter},
+                           return_when=asyncio.FIRST_COMPLETED)
+    finally:
+        serving.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serving
+        await service.stop()
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    config = ServiceConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        sweep_workers=args.sweep_workers,
+        db=args.db,
+    )
+    service = PlannerService(config=config)
+    try:
+        asyncio.run(_serve(service, args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

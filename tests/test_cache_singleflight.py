@@ -1,0 +1,255 @@
+"""Single-flight regressions: threads, asyncio executors, eviction races.
+
+The planner service front (PR 10) hits ``PlanCache`` from asyncio
+executor threads as well as plain threads, so the single-flight contract
+is pinned down here from every direction: N concurrent identical specs
+must cost exactly one planner invocation, with no deadlock and no
+double-plan — including under a bounded LRU that evicts the plan before
+the waiters wake, and through a deliberately starved 1-thread executor
+(where blocking waiters would deadlock if they each held a thread).
+"""
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.cache import PlanCache
+from repro.core.registry import CollectiveSpec
+from repro.fabric.geometry import Grid
+
+
+SPEC = CollectiveSpec("reduce", Grid(1, 8), 16)
+OTHER = CollectiveSpec("reduce", Grid(1, 8), 32)
+
+
+class CountingPlanner:
+    """A planner stub that counts invocations and can stall."""
+
+    def __init__(self, delay=0.0):
+        self.calls = 0
+        self.delay = delay
+        self._lock = threading.Lock()
+
+    def __call__(self, spec):
+        with self._lock:
+            self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+        return ("plan-for", spec)
+
+
+def test_32_concurrent_identical_specs_plan_once():
+    cache = PlanCache()
+    planner = CountingPlanner(delay=0.05)
+    barrier = threading.Barrier(32)
+    results = []
+
+    def worker():
+        barrier.wait()
+        results.append(cache.get_or_plan(SPEC, planner))
+
+    threads = [threading.Thread(target=worker) for _ in range(32)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert planner.calls == 1
+    assert results == [("plan-for", SPEC)] * 32
+    stats = cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 31
+
+
+def test_waiters_get_plan_even_after_lru_eviction():
+    # Regression: waiters used to re-check the cache after the planner
+    # finished; a bounded cache could evict the plan in that window and
+    # the waiter would plan the same spec a second time.
+    cache = PlanCache(maxsize=1)
+    planner = CountingPlanner(delay=0.05)
+    waited = []
+
+    def waiter():
+        waited.append(cache.get_or_plan(SPEC, planner))
+
+    def evictor():
+        # Lands while SPEC is still being planned, then immediately
+        # overwrites it once stored.
+        cache.get_or_plan(OTHER, CountingPlanner())
+        time.sleep(0.1)
+        cache.store(OTHER, "squatter")
+
+    first = threading.Thread(target=waiter)
+    second = threading.Thread(target=waiter)
+    first.start()
+    time.sleep(0.01)  # let the first thread become the planner
+    second.start()
+    evict = threading.Thread(target=evictor)
+    evict.start()
+    for t in (first, second, evict):
+        t.join()
+
+    assert planner.calls == 1
+    assert waited == [("plan-for", SPEC)] * 2
+
+
+def test_planner_failure_hands_off_to_a_waiter():
+    cache = PlanCache()
+    state = {"calls": 0}
+
+    def flaky(spec):
+        state["calls"] += 1
+        if state["calls"] == 1:
+            time.sleep(0.02)
+            raise RuntimeError("first planner dies")
+        return "recovered"
+
+    outcomes = []
+
+    def worker():
+        try:
+            outcomes.append(cache.get_or_plan(SPEC, flaky))
+        except RuntimeError:
+            outcomes.append("raised")
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+        time.sleep(0.005)  # first in wins the flight
+    for t in threads:
+        t.join()
+
+    assert outcomes.count("raised") == 1
+    assert outcomes.count("recovered") == 3
+    assert state["calls"] == 2
+
+
+def test_async_single_flight_32_requests_one_invocation():
+    cache = PlanCache()
+    planner = CountingPlanner(delay=0.05)
+
+    async def drive():
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            plans = await asyncio.gather(*[
+                cache.get_or_plan_async(SPEC, planner, executor=pool)
+                for _ in range(32)
+            ])
+        return plans
+
+    plans = asyncio.run(drive())
+    assert planner.calls == 1
+    assert plans == [("plan-for", SPEC)] * 32
+    assert cache.stats()["misses"] == 1
+
+
+def test_async_starved_executor_does_not_deadlock():
+    # The deadlock shape get_or_plan_async exists to prevent: with a
+    # 1-thread executor, 32 *blocking* waiters would occupy the only
+    # thread and the planner job could never run.  Coalesced awaiting
+    # must finish promptly instead.
+    cache = PlanCache()
+    planner = CountingPlanner(delay=0.05)
+
+    async def drive():
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            return await asyncio.wait_for(
+                asyncio.gather(*[
+                    cache.get_or_plan_async(SPEC, planner, executor=pool)
+                    for _ in range(32)
+                ]),
+                timeout=5.0,
+            )
+
+    plans = asyncio.run(drive())
+    assert planner.calls == 1
+    assert len(set(map(id, plans))) == 1
+
+
+def test_async_and_thread_callers_share_one_flight():
+    cache = PlanCache()
+    planner = CountingPlanner(delay=0.1)
+    thread_results = []
+
+    def blocking_caller():
+        thread_results.append(cache.get_or_plan(SPEC, planner))
+
+    async def drive():
+        threads = [threading.Thread(target=blocking_caller) for _ in range(4)]
+        for t in threads:
+            t.start()
+        await asyncio.sleep(0.02)  # thread-side flight is in progress
+        plans = await asyncio.gather(*[
+            cache.get_or_plan_async(SPEC, planner) for _ in range(8)
+        ])
+        for t in threads:
+            t.join()
+        return plans
+
+    plans = asyncio.run(drive())
+    assert planner.calls == 1
+    assert thread_results == [("plan-for", SPEC)] * 4
+    assert plans == [("plan-for", SPEC)] * 8
+
+
+def test_async_error_propagates_to_every_coalesced_caller():
+    cache = PlanCache()
+
+    def exploding(spec):
+        time.sleep(0.02)
+        raise ValueError("no plan for you")
+
+    async def drive():
+        tasks = [
+            asyncio.ensure_future(cache.get_or_plan_async(SPEC, exploding))
+            for _ in range(6)
+        ]
+        done = await asyncio.gather(*tasks, return_exceptions=True)
+        return done
+
+    results = asyncio.run(drive())
+    assert len(results) == 6
+    assert all(isinstance(r, ValueError) for r in results)
+    # The failed flight is retired: a later call plans afresh.
+    planner = CountingPlanner()
+    assert asyncio.run(cache.get_or_plan_async(SPEC, planner)) == (
+        "plan-for", SPEC,
+    )
+    assert planner.calls == 1
+
+
+def test_async_cache_hit_skips_the_executor():
+    cache = PlanCache()
+    planner = CountingPlanner()
+    cache.store(SPEC, "already-there")
+
+    class RefusingExecutor:
+        def submit(self, *a, **k):  # pragma: no cover - must not be hit
+            raise AssertionError("cache hit must not touch the executor")
+
+    async def drive():
+        return await cache.get_or_plan_async(
+            SPEC, planner, executor=RefusingExecutor()
+        )
+
+    assert asyncio.run(drive()) == "already-there"
+    assert planner.calls == 0
+
+
+@pytest.mark.parametrize("n", [2, 16])
+def test_distinct_specs_fly_separately(n):
+    cache = PlanCache()
+    planner = CountingPlanner(delay=0.02)
+    specs = [CollectiveSpec("reduce", Grid(1, 8), 16 * (i + 1))
+             for i in range(n)]
+
+    async def drive():
+        return await asyncio.gather(*[
+            cache.get_or_plan_async(s, planner) for s in specs
+        ])
+
+    plans = asyncio.run(drive())
+    assert planner.calls == n
+    assert plans == [("plan-for", s) for s in specs]

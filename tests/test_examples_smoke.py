@@ -63,3 +63,11 @@ def test_collectives_tour():
     out = _run("collectives_tour.py")
     assert "reduce_scatter" in out
     assert "timeline" in out
+
+
+def test_planner_service():
+    out = _run("planner_service.py")
+    assert "coalesced onto its flight" in out
+    assert "bit-identical to library: True" in out
+    assert "1 planned" in out
+    assert "service shut down cleanly" in out

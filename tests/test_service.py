@@ -1,0 +1,361 @@
+"""Planner-service integration tests: a live server in this process.
+
+Each server runs via :func:`repro.service.app.serve_in_thread` — real
+sockets, real HTTP, the real asyncio loop — while the tests keep access
+to process-global state (the plan cache, the metrics registry, the
+planner internals) to make the coalescing and bit-identity claims
+counter-assertable rather than anecdotal:
+
+* N concurrent identical ``/plan`` requests invoke the planner exactly
+  once (monkeypatched counting planner + the ``service.coalesced``
+  metric both agree);
+* service answers are bit-identical to the library path (plan
+  prediction and seeded sweep results);
+* malformed specs 400 with every field error collected, over-rate
+  tenants 429 with ``retry_after``, an over-capacity service 503s.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.api import execute, plan as lib_plan
+from repro.core.cache import PLAN_CACHE
+from repro.obs.metrics import METRICS
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    SpecRequest,
+    SweepItem,
+    seeded_input,
+    serve_in_thread,
+)
+
+
+def _config(**overrides) -> ServiceConfig:
+    base = dict(port=0, db="-", sweep_workers=1, workers=4)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One shared server for the read-mostly tests."""
+    with serve_in_thread(config=_config()) as (service, host, port):
+        yield ServiceClient(host, port)
+
+
+def _spec(b: int, cols: int = 16) -> SpecRequest:
+    return SpecRequest(kind="reduce", rows=1, cols=cols, b=b)
+
+
+# -- basic surface -----------------------------------------------------------
+
+
+def test_healthz_reports_version_and_uptime(server):
+    health = server.healthz()
+    assert health.status == "ok"
+    assert health.version == repro.__version__
+    assert health.uptime_seconds >= 0
+
+
+def test_plan_miss_then_cached_hit(server):
+    spec = _spec(b=48)
+    PLAN_CACHE.clear()
+    first = server.plan(spec)
+    assert not first.cached
+    second = server.plan(spec)
+    assert second.cached and not second.coalesced
+    assert first.algorithm == second.algorithm
+    assert first.predicted_cycles == second.predicted_cycles
+    assert first.spec == spec
+
+
+def test_plan_matches_library_prediction_exactly(server):
+    spec = _spec(b=80)
+    response = server.plan(spec)
+    local = lib_plan(spec.to_spec())
+    assert response.algorithm == local.algorithm
+    assert response.predicted_cycles == local.predicted_cycles
+
+
+def test_unknown_endpoint_404_and_wrong_method_405(server):
+    with pytest.raises(ServiceError) as err:
+        server.request("GET", "/nope")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        server.request("GET", "/plan")
+    assert err.value.status == 405
+    with pytest.raises(ServiceError) as err:
+        server.request("POST", "/stats", {})
+    assert err.value.status == 405
+
+
+def test_malformed_spec_collects_every_field_error(server):
+    with pytest.raises(ServiceError) as err:
+        server.request("POST", "/plan", {
+            "kind": "nonsense", "cols": -3, "bogus": 1,
+        })
+    assert err.value.status == 400
+    fields = {e["field"] for e in err.value.errors}
+    # One round trip reports all four problems, not just the first.
+    assert {"kind", "cols", "b", "bogus"} <= fields
+
+
+def test_infeasible_spec_is_a_400_not_a_500(server):
+    # Forcing an algorithm the spec can't run is a caller error.
+    bad = SpecRequest(kind="reduce", rows=1, cols=4, b=8,
+                      algorithm="definitely-not-an-algorithm")
+    with pytest.raises(ServiceError) as err:
+        server.plan(bad)
+    assert err.value.status == 400
+
+
+def test_non_json_body_is_a_400(server):
+    import http.client
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        conn.request("POST", "/plan", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 400
+    finally:
+        conn.close()
+
+
+# -- /stats ------------------------------------------------------------------
+
+
+def test_stats_schema_and_service_series(server):
+    spec = _spec(b=48)
+    server.plan(spec)
+    stats = server.stats()
+    assert stats.version == repro.__version__
+    assert stats.uptime_seconds >= 0
+    metrics = stats.metrics
+    assert "service.requests{endpoint=/plan,status=200}" in metrics
+    latency = metrics["service.latency_seconds{endpoint=/plan}"]
+    assert {"count", "sum", "min", "max", "mean"} <= set(latency)
+    assert latency["count"] >= 1
+    # The registry's standard sources ride along in the same snapshot.
+    assert "plan_cache.hits" in metrics
+    assert "plan_cache.misses" in metrics
+
+
+# -- coalescing --------------------------------------------------------------
+
+
+def test_32_concurrent_identical_plans_invoke_planner_once(monkeypatch):
+    from repro.core import api as core_api
+
+    calls = []
+    lock = threading.Lock()
+    real = core_api._plan_uncached
+
+    def slow_planner(spec):
+        with lock:
+            calls.append(spec)
+        time.sleep(0.3)  # hold the flight open while the herd arrives
+        return real(spec)
+
+    monkeypatch.setattr(core_api, "_plan_uncached", slow_planner)
+    spec = _spec(b=4096, cols=24)  # unique to this test
+    PLAN_CACHE.clear()
+    before = METRICS.snapshot().get("service.coalesced", 0)
+
+    # Every handler must hold an admission slot while awaiting the shared
+    # flight, so give the server headroom for the whole herd.
+    with serve_in_thread(config=_config(max_inflight=64)) as (_, host, port):
+        barrier = threading.Barrier(32)
+        responses, errors = [], []
+
+        def worker():
+            client = ServiceClient(host, port, timeout=30)
+            barrier.wait()
+            try:
+                responses.append(client.plan(spec))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalesced = METRICS.snapshot().get("service.coalesced", 0) - before
+
+    assert not errors
+    assert len(calls) == 1, f"planner ran {len(calls)}x for one spec"
+    assert len(responses) == 32
+    predictions = {r.predicted_cycles for r in responses}
+    algorithms = {r.algorithm for r in responses}
+    assert len(predictions) == 1 and len(algorithms) == 1
+    # Every request but the flight-starter was coalesced or served off
+    # the cache the flight filled; the counter saw the coalesced ones.
+    assert coalesced == sum(1 for r in responses if r.coalesced)
+    assert coalesced >= 1
+    assert sum(1 for r in responses if not r.cached and not r.coalesced) == 1
+
+
+# -- admission control -------------------------------------------------------
+
+
+def test_over_rate_tenant_gets_429_with_retry_after():
+    config = _config(rate=0.001, burst=2)
+    with serve_in_thread(config=config) as (_, host, port):
+        client = ServiceClient(host, port, tenant="greedy")
+        spec = _spec(b=32)
+        client.plan(spec)
+        client.plan(spec)
+        with pytest.raises(ServiceError) as err:
+            client.plan(spec)
+        assert err.value.status == 429
+        assert err.value.retry_after is not None
+        assert err.value.retry_after > 0
+        # Another tenant still has a full bucket.
+        other = ServiceClient(host, port, tenant="patient")
+        assert other.plan(spec).algorithm
+
+
+def test_rate_limit_does_not_gate_health_or_stats():
+    config = _config(rate=0.001, burst=1)
+    with serve_in_thread(config=config) as (_, host, port):
+        client = ServiceClient(host, port, tenant="t")
+        client.plan(_spec(b=32))
+        with pytest.raises(ServiceError):
+            client.plan(_spec(b=32))
+        assert client.healthz().status == "ok"
+        assert client.stats().version == repro.__version__
+
+
+def test_service_at_capacity_503s(monkeypatch):
+    from repro.core import api as core_api
+
+    real = core_api._plan_uncached
+    entered = threading.Event()
+    release = threading.Event()
+
+    def stalling_planner(spec):
+        entered.set()
+        release.wait(timeout=10)
+        return real(spec)
+
+    monkeypatch.setattr(core_api, "_plan_uncached", stalling_planner)
+    PLAN_CACHE.clear()
+    config = _config(max_inflight=1, queue_depth=0)
+    with serve_in_thread(config=config) as (_, host, port):
+
+        def hold():
+            try:
+                ServiceClient(host, port, timeout=30).plan(
+                    _spec(b=64, cols=20)
+                )
+            except ServiceError:
+                pass  # losing the admission race to the probe is fine
+
+        stuck = threading.Thread(target=hold)
+        stuck.start()
+        try:
+            # Once the planner has been *entered*, its handler provably
+            # holds the single admission slot; with queue_depth=0 any
+            # further heavy request must be turned away immediately.
+            assert entered.wait(timeout=10), "planner never started"
+            with pytest.raises(ServiceError) as err:
+                # A *different* spec: can't coalesce, must be admitted.
+                ServiceClient(host, port).plan(_spec(b=96, cols=20))
+            assert err.value.status == 503
+            assert err.value.retry_after is not None
+        finally:
+            release.set()
+            stuck.join(timeout=10)
+
+
+# -- bit-identity ------------------------------------------------------------
+
+
+def test_seeded_sweep_is_bit_identical_to_library(server):
+    spec_req = _spec(b=56)
+    spec = spec_req.to_spec()
+    swept = server.sweep(
+        [SweepItem(spec=spec_req, seed=11)], return_results=True,
+    )
+    outcome = swept.outcomes[0]
+    local = execute(lib_plan(spec), seeded_input(spec, 11))
+    assert outcome.measured_cycles == local.measured_cycles
+    assert outcome.algorithm == local.algorithm
+    assert outcome.predicted_cycles == local.predicted_cycles
+    assert np.array_equal(outcome.result_array(), np.asarray(local.result))
+
+
+def test_explicit_data_sweep_round_trips_float64_exactly(server):
+    spec_req = _spec(b=24, cols=8)
+    spec = spec_req.to_spec()
+    data = seeded_input(spec, 3)  # irrational-ish float64s
+    item = SweepItem(spec=spec_req, data=tuple(map(tuple, data.tolist())))
+    assert np.array_equal(item.input_array(), data), \
+        "JSON-shaped data must round-trip float64 bit-exactly"
+    swept = server.sweep([item], return_results=True)
+    local = execute(lib_plan(spec), data)
+    assert np.array_equal(
+        swept.outcomes[0].result_array(), np.asarray(local.result),
+    )
+
+
+def test_sweep_batch_preserves_order(server):
+    items = [SweepItem(spec=_spec(b=b), seed=1) for b in (16, 32, 64)]
+    swept = server.sweep(items)
+    assert len(swept.outcomes) == 3
+    locals_ = [
+        execute(lib_plan(i.spec.to_spec()), seeded_input(i.spec.to_spec(), 1))
+        for i in items
+    ]
+    assert [o.measured_cycles for o in swept.outcomes] == [
+        lo.measured_cycles for lo in locals_
+    ]
+
+
+def test_sweep_without_return_results_omits_arrays(server):
+    swept = server.sweep([SweepItem(spec=_spec(b=16), seed=0)])
+    assert swept.outcomes[0].result is None
+    with pytest.raises(ValueError):
+        swept.outcomes[0].result_array()
+
+
+# -- tune --------------------------------------------------------------------
+
+
+def test_tune_measures_candidates_and_reports_winner(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    with serve_in_thread(config=_config()) as (_, host, port):
+        client = ServiceClient(host, port)
+        spec = _spec(b=40)
+        tuned = client.tune([spec])
+        outcome = tuned.outcomes[0]
+        assert outcome.spec.b == 40
+        assert outcome.winner_algorithm in outcome.measured
+        assert len(outcome.measured) >= 2
+        assert outcome.measured[outcome.winner_algorithm] == min(
+            outcome.measured.values()
+        )
+
+
+# -- warm start --------------------------------------------------------------
+
+
+def test_boot_hydrates_plan_cache_from_tunedb(tmp_path):
+    from repro.engine.autotune import tune as lib_tune
+    from repro.engine.store import TuneDB
+
+    spec = _spec(b=72).to_spec()
+    db_path = tmp_path / "tune.jsonl"
+    lib_tune([spec], db=TuneDB(str(db_path)), workers=1)
+    PLAN_CACHE.clear()
+    config = _config(db=str(db_path))
+    with serve_in_thread(config=config) as (service, host, port):
+        assert service.hydrated_plans >= 1
+        response = ServiceClient(host, port).plan(_spec(b=72))
+        assert response.cached, "hydrated spec must be a hit on request one"
